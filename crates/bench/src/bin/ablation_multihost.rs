@@ -1,0 +1,55 @@
+//! Ablation: true multi-host SITA-U vs the paper's grouped approximation.
+//!
+//! §5 avoids searching `h − 1` cutoffs ("computationally expensive") and
+//! instead reuses the 2-host cutoff to split the hosts into two
+//! LWL-scheduled groups. Our closed-form partial moments make the full
+//! search cheap (water-filling for -fair, coordinate descent for -opt),
+//! so this exhibit asks: how much performance did the paper's shortcut
+//! leave on the table?
+
+use dses_core::cutoffs::CutoffMethod;
+use dses_core::prelude::*;
+use dses_core::report::{fmt_num, Table};
+
+fn main() {
+    let preset = dses_workload::psc_c90();
+    let rho = 0.7;
+    let mut table = Table::new(
+        format!("true multi-host SITA vs grouped SITA+LWL (rho = {rho}, C90, simulation)"),
+        &[
+            "hosts",
+            "LWL",
+            "grouped E/LWL",
+            "true SITA-E",
+            "grouped fair/LWL",
+            "true SITA-U-fair",
+            "true SITA-U-opt",
+        ],
+    );
+    for hosts in [4usize, 8, 16] {
+        let experiment = Experiment::new(preset.size_dist.clone())
+            .hosts(hosts)
+            .jobs(60_000 * hosts)
+            .warmup_jobs(5_000)
+            .seed(1997);
+        let run = |spec: &PolicySpec| -> String {
+            match experiment.try_run(spec, rho) {
+                Ok(r) => fmt_num(r.slowdown.mean),
+                Err(_) => "-".into(),
+            }
+        };
+        table.push_row(vec![
+            hosts.to_string(),
+            run(&PolicySpec::LeastWorkLeft),
+            run(&PolicySpec::Grouped { method: CutoffMethod::EqualLoad }),
+            run(&PolicySpec::SitaE),
+            run(&PolicySpec::Grouped { method: CutoffMethod::Fair }),
+            run(&PolicySpec::SitaUFair),
+            run(&PolicySpec::SitaUOpt),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Reading: per-host size bands (true SITA) cut variance further than two");
+    println!("coarse groups, but the grouped policy's LWL pooling hedges against bursts");
+    println!("within a band — the paper's shortcut is competitive and far simpler.");
+}

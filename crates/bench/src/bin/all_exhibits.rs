@@ -1,0 +1,31 @@
+//! Run every exhibit regenerator in sequence (Table 1, Figures 2–13,
+//! claims check). Equivalent to running each `figN`/`table1`/`claims`
+//! binary; provided so `cargo run -p dses-bench --release --bin
+//! all_exhibits | tee exhibits.txt` captures the whole evaluation at
+//! once.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10_12",
+        "fig11_13", "claims", "ablation_cutoff", "ablation_workload", "ablation_noise",
+        "ablation_multihost", "ablation_tags", "ablation_prediction", "ablation_hetero", "ablation_percentiles", "ablation_arrivals", "ablation_diurnal", "validation",
+    ];
+    for bin in bins {
+        println!("================================================================");
+        println!("==== {bin}");
+        println!("================================================================");
+        let path = dir.join(bin);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!(
+                "could not run {bin} ({e}); build it first: cargo build --release -p dses-bench --bins"
+            ),
+        }
+    }
+}

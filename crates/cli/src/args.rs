@@ -1,0 +1,213 @@
+//! A small, dependency-free flag parser.
+//!
+//! The workspace's sanctioned dependency list doesn't include an argument
+//! parser, and the `dses` CLI needs only `--flag value` pairs and
+//! booleans, so we parse by hand. Grammar:
+//!
+//! ```text
+//! dses <command> [--key value]... [--switch]...
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: one subcommand plus `--key value` / `--switch`
+/// flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// the subcommand (first positional argument)
+    pub command: String,
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a raw argument list (excluding the program name).
+    ///
+    /// `--key value` stores a value; a `--switch` followed by another
+    /// flag (or nothing) is a boolean switch. Positional arguments other
+    /// than the leading command are rejected.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing command; try `dses help`".to_string()))?;
+        if command.starts_with("--") {
+            return Err(ArgError(format!(
+                "expected a command before flags, found {command}"
+            )));
+        }
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {token:?}")));
+            };
+            if key.is_empty() {
+                return Err(ArgError("empty flag `--`".to_string()));
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    if args.values.insert(key.to_string(), value).is_some() {
+                        return Err(ArgError(format!("duplicate flag --{key}")));
+                    }
+                }
+                _ => args.switches.push(key.to_string()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A string value with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed numeric value with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects a number, got {v:?}"))),
+        }
+    }
+
+    /// A parsed integer value with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got {v:?}"))),
+        }
+    }
+
+    /// A parsed u64 with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got {v:?}"))),
+        }
+    }
+
+    /// Whether a boolean switch is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Parse a load list: `0.5` or `0.5,0.7,0.9` or a range `0.1:0.9:0.2`.
+    pub fn get_loads(&self, key: &str, default: &[f64]) -> Result<Vec<f64>, ArgError> {
+        let Some(spec) = self.get(key) else {
+            return Ok(default.to_vec());
+        };
+        if let Some((rest, step)) = spec.rsplit_once(':') {
+            if let Some((lo, hi)) = rest.split_once(':') {
+                let lo: f64 = lo
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad range start in --{key}: {lo:?}")))?;
+                let hi: f64 = hi
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad range end in --{key}: {hi:?}")))?;
+                let step: f64 = step
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad range step in --{key}: {step:?}")))?;
+                if !(step > 0.0 && hi >= lo) {
+                    return Err(ArgError(format!("empty range in --{key}: {spec:?}")));
+                }
+                let mut out = Vec::new();
+                let mut x = lo;
+                while x <= hi + 1e-12 {
+                    out.push((x * 1e9).round() / 1e9);
+                    x += step;
+                }
+                return Ok(out);
+            }
+        }
+        spec.split(',')
+            .map(|tok| {
+                tok.parse()
+                    .map_err(|_| ArgError(format!("bad load {tok:?} in --{key}")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn parses_command_values_and_switches() {
+        let a = parse(&["simulate", "--load", "0.7", "--fairness", "--hosts", "4"]).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.get("load"), Some("0.7"));
+        assert_eq!(a.get_usize("hosts", 2).unwrap(), 4);
+        assert!(a.has("fairness"));
+        assert!(!a.has("percentiles"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&["analyze"]).unwrap();
+        assert_eq!(a.get_f64("load", 0.5).unwrap(), 0.5);
+        assert_eq!(a.get_or("workload", "c90"), "c90");
+    }
+
+    #[test]
+    fn rejects_missing_command_and_positional_junk() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--load", "0.7"]).is_err());
+        assert!(parse(&["simulate", "oops"]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_numbers() {
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+        let a = parse(&["x", "--load", "abc"]).unwrap();
+        assert!(a.get_f64("load", 0.5).is_err());
+    }
+
+    #[test]
+    fn load_list_and_range_parsing() {
+        let a = parse(&["x", "--loads", "0.3,0.5,0.9"]).unwrap();
+        assert_eq!(a.get_loads("loads", &[]).unwrap(), vec![0.3, 0.5, 0.9]);
+        let a = parse(&["x", "--loads", "0.1:0.5:0.2"]).unwrap();
+        assert_eq!(a.get_loads("loads", &[]).unwrap(), vec![0.1, 0.3, 0.5]);
+        let a = parse(&["x"]).unwrap();
+        assert_eq!(a.get_loads("loads", &[0.7]).unwrap(), vec![0.7]);
+        let a = parse(&["x", "--loads", "0.9:0.1:0.2"]).unwrap();
+        assert!(a.get_loads("loads", &[]).is_err());
+    }
+
+    #[test]
+    fn trailing_switch_is_a_switch() {
+        let a = parse(&["x", "--verbose"]).unwrap();
+        assert!(a.has("verbose"));
+    }
+}

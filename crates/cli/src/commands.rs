@@ -1,0 +1,592 @@
+//! The `dses` subcommands.
+
+use crate::args::{ArgError, Args};
+use crate::names;
+use dses_core::fairness::FairnessReport;
+use dses_core::report::{fmt_num, Table};
+use dses_core::rule_of_thumb::rule_of_thumb_fraction;
+use dses_core::{Experiment, PolicySpec};
+use dses_dist::{Distribution, Mixture};
+use dses_sim::SimResult;
+use dses_workload::{swf, Trace};
+
+/// Run one subcommand, returning the text to print.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "help" | "-h" | "--help" => Ok(help()),
+        "workloads" => workloads(),
+        "policies" => Ok(policies()),
+        "simulate" => simulate(args),
+        "analyze" | "analyse" => analyze(args),
+        "sweep" => sweep(args),
+        "replicate" => replicate(args),
+        "cutoff" => cutoff(args),
+        "swf" => swf_cmd(args),
+        "burstiness" => burstiness_cmd(args),
+        other => Err(ArgError(format!(
+            "unknown command {other:?}; try `dses help`"
+        ))),
+    }
+}
+
+/// Top-level usage text.
+pub fn help() -> String {
+    "\
+dses — distributed-server task-assignment simulator & analyzer
+(reproduction of Schroeder & Harchol-Balter, HPDC 2000)
+
+USAGE: dses <command> [--flag value]...
+
+COMMANDS
+  workloads                         list the calibrated workload presets
+  policies                          list the task-assignment policies
+  simulate   run one simulation
+      --workload c90|j90|ctc        (default c90)
+      --policy <name>               (default sita-u-fair)
+      --load <rho>                  system load in (0,1) (default 0.7)
+      --hosts <h>                   (default 2)
+      --jobs <n>                    (default 100000)
+      --seed <s>                    (default 0)
+      --warmup <n>                  jobs trimmed from stats (default 1000)
+      --fairness                    print the slowdown-vs-size profile
+      --percentiles                 print slowdown percentiles
+      --slo <s>                     report the fraction of jobs with slowdown > s
+  analyze    closed-form prediction (no simulation)
+      --workload, --policy, --load, --hosts as above
+  sweep      figure-style table over loads
+      --policies a,b,c              (default random,lwl,sita-e,sita-u-fair)
+      --loads lo:hi:step or a,b,c   (default 0.1:0.9:0.2)
+      --workload, --hosts, --jobs, --seed as above
+  replicate  multi-seed runs with ~95% confidence intervals
+      --policies a,b,c              (default lwl,sita-e,sita-u-fair)
+      --reps <n>                    (default 5)
+      --workload, --load, --hosts, --jobs, --seed as above
+  cutoff     solve SITA cutoffs
+      --method equal-load|opt|fair|rot
+      --workload, --load, --hosts as above
+  swf        simulate a real Standard Workload Format trace
+      --file <path>                 SWF log to load
+      --policy <name>, --hosts <h>
+      --procs <p>                   keep only p-processor jobs
+      --load <rho>                  rescale interarrivals to this load
+  burstiness measure a trace's arrival burstiness
+      --file <path>                 SWF log (or omit for a synthetic demo)
+      --procs <p>                   keep only p-processor jobs
+
+EXAMPLES
+  dses simulate --workload c90 --policy sita-u-fair --load 0.7
+  dses sweep --policies lwl,sita-e,fair --loads 0.3:0.9:0.2
+  dses cutoff --method fair --load 0.7
+  dses swf --file ctc.swf --procs 8 --policy lwl --load 0.6
+"
+    .to_string()
+}
+
+fn workloads() -> Result<String, ArgError> {
+    let mut out = String::from("calibrated workload presets (see DESIGN.md for the substitution):\n\n");
+    for p in dses_workload::presets::all_presets() {
+        out.push_str(&format!("  {}\n    {}\n", p.table1_row(), p.description));
+    }
+    Ok(out)
+}
+
+fn policies() -> String {
+    let mut out = String::from("task-assignment policies:\n\n");
+    for (name, desc) in names::all_policy_names() {
+        out.push_str(&format!("  {name:<40} {desc}\n"));
+    }
+    out
+}
+
+fn experiment_from(args: &Args) -> Result<(Experiment<Mixture>, f64), ArgError> {
+    let preset = names::workload(args.get_or("workload", "c90"))?;
+    let load = args.get_f64("load", 0.7)?;
+    if !(load > 0.0 && load < 1.0) {
+        return Err(ArgError(format!("--load must be in (0,1), got {load}")));
+    }
+    let experiment = Experiment::new(preset.size_dist.clone())
+        .hosts(args.get_usize("hosts", 2)?)
+        .jobs(args.get_usize("jobs", 100_000)?)
+        .warmup_jobs(args.get_usize("warmup", 1_000)?)
+        .seed(args.get_u64("seed", 0)?)
+        .fairness_bins(if args.has("fairness") { 12 } else { 0 })
+        .percentiles(args.has("percentiles"));
+    let experiment = match args.get("slo") {
+        Some(_) => experiment.slo(args.get_f64("slo", 10.0)?),
+        None => experiment,
+    };
+    Ok((experiment, load))
+}
+
+/// Render the standard result block.
+fn render_result(title: &str, r: &SimResult) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "  jobs measured        {}\n  mean slowdown        {}\n  var slowdown         {}\n  mean queueing S      {}\n  mean response (s)    {}\n  mean waiting (s)     {}\n",
+        r.measured,
+        fmt_num(r.slowdown.mean),
+        fmt_num(r.slowdown.variance),
+        fmt_num(r.queueing_slowdown.mean),
+        fmt_num(r.response.mean),
+        fmt_num(r.waiting.mean),
+    ));
+    for (i, _) in r.per_host.iter().enumerate() {
+        out.push_str(&format!(
+            "  host {i}: jobs {:.1}%  load {:.1}%\n",
+            100.0 * r.job_fraction(i),
+            100.0 * r.load_fraction(i)
+        ));
+    }
+    if let Some(p) = &r.slowdown_percentiles {
+        out.push_str("  slowdown percentiles: ");
+        for (q, est) in p {
+            out.push_str(&format!("p{:.0}={} ", q * 100.0, fmt_num(*est)));
+        }
+        out.push('\n');
+    }
+    if let Some(frac) = r.slo_violation_fraction() {
+        if let Some((_, threshold)) = r.slo_violations {
+            out.push_str(&format!(
+                "  SLO violations: {:.2}% of jobs exceeded slowdown {threshold}\n",
+                100.0 * frac
+            ));
+        }
+    }
+    if let (Some(s), Some(l)) = (r.short_slowdown, r.long_slowdown) {
+        out.push_str(&format!(
+            "  class slowdowns: short {}  long {}\n",
+            fmt_num(s.mean),
+            fmt_num(l.mean)
+        ));
+    }
+    if r.fairness.is_some() {
+        out.push_str("\nfairness profile (slowdown by size band):\n");
+        out.push_str(&FairnessReport::from_result(r).render());
+    }
+    out
+}
+
+fn simulate(args: &Args) -> Result<String, ArgError> {
+    let (experiment, load) = experiment_from(args)?;
+    let spec = names::policy(args.get_or("policy", "sita-u-fair"))?;
+    let result = experiment
+        .try_run(&spec, load)
+        .map_err(|e| ArgError(format!("{}: {e}", spec.name())))?;
+    Ok(render_result(
+        &format!(
+            "{} on {} hosts at load {load} ({} workload)",
+            spec.name(),
+            experiment.num_hosts(),
+            args.get_or("workload", "c90")
+        ),
+        &result,
+    ))
+}
+
+fn analyze(args: &Args) -> Result<String, ArgError> {
+    let (experiment, load) = experiment_from(args)?;
+    let policy = names::analytic_policy(args.get_or("policy", "sita-u-fair"))?;
+    let m = experiment
+        .analytic(policy, load)
+        .map_err(|e| ArgError(format!("{}: {e}", policy.name())))?;
+    let mut out = format!(
+        "analytic {} at load {load} on {} hosts:\n  mean slowdown      {}\n  mean queueing S    {}\n  mean waiting (s)   {}\n  mean response (s)  {}\n",
+        policy.name(),
+        experiment.num_hosts(),
+        fmt_num(m.mean_slowdown),
+        fmt_num(m.mean_queueing_slowdown),
+        fmt_num(m.mean_waiting),
+        fmt_num(m.mean_response),
+    );
+    if let Some(v) = m.slowdown_variance {
+        out.push_str(&format!("  var slowdown       {}\n", fmt_num(v)));
+    }
+    if let Some(c) = &m.cutoffs {
+        out.push_str(&format!("  cutoffs (s)        {c:?}\n"));
+    }
+    if let Some(f) = m.load_fraction_host0 {
+        out.push_str(&format!(
+            "  load on host 0     {f:.3} (rule of thumb: {:.3})\n",
+            rule_of_thumb_fraction(load)
+        ));
+    }
+    Ok(out)
+}
+
+fn sweep(args: &Args) -> Result<String, ArgError> {
+    let (experiment, _) = experiment_from(args)?;
+    let specs = names::policy_list(args.get_or("policies", "random,lwl,sita-e,sita-u-fair"))?;
+    let loads = args.get_loads("loads", &[0.1, 0.3, 0.5, 0.7, 0.9])?;
+    let mut headers = vec!["rho".to_string()];
+    headers.extend(specs.iter().map(PolicySpec::name));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut mean_t = Table::new("mean slowdown", &headers_ref);
+    let mut var_t = Table::new("variance of slowdown", &headers_ref);
+    for &rho in &loads {
+        let mut mrow = vec![format!("{rho:.2}")];
+        let mut vrow = vec![format!("{rho:.2}")];
+        for spec in &specs {
+            match experiment.try_run(spec, rho) {
+                Ok(r) => {
+                    mrow.push(fmt_num(r.slowdown.mean));
+                    vrow.push(fmt_num(r.slowdown.variance));
+                }
+                Err(_) => {
+                    mrow.push("-".into());
+                    vrow.push("-".into());
+                }
+            }
+        }
+        mean_t.push_row(mrow);
+        var_t.push_row(vrow);
+    }
+    Ok(format!("{}\n{}", mean_t.render(), var_t.render()))
+}
+
+fn replicate(args: &Args) -> Result<String, ArgError> {
+    let (experiment, load) = experiment_from(args)?;
+    let specs = names::policy_list(args.get_or("policies", "lwl,sita-e,sita-u-fair"))?;
+    let reps = args.get_usize("reps", 5)?;
+    if reps == 0 {
+        return Err(ArgError("--reps must be at least 1".to_string()));
+    }
+    let mut table = Table::new(
+        format!("mean slowdown over {reps} replications at load {load}"),
+        &["policy", "mean", "±95%"],
+    );
+    for spec in &specs {
+        match experiment.replicate(spec, load, reps) {
+            Ok(r) => table.push_row(vec![
+                spec.name(),
+                fmt_num(r.mean),
+                fmt_num(r.half_width),
+            ]),
+            Err(e) => table.push_row(vec![spec.name(), format!("{e}"), "-".into()]),
+        }
+    }
+    Ok(table.render())
+}
+
+fn cutoff(args: &Args) -> Result<String, ArgError> {
+    let preset = names::workload(args.get_or("workload", "c90"))?;
+    let method = names::cutoff_method(args.get_or("method", "fair"))?;
+    let load = args.get_f64("load", 0.7)?;
+    let hosts = args.get_usize("hosts", 2)?;
+    let d = &preset.size_dist;
+    let lambda = load * hosts as f64 / d.mean();
+    let cutoffs = dses_core::cutoffs::resolve_cutoff(d, lambda, hosts, method)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let analysis = dses_queueing::sita::SitaAnalysis::analyze(d, lambda, &cutoffs);
+    let mut out = format!(
+        "{} cutoffs for {} at load {load} on {hosts} hosts:\n",
+        method.label(),
+        preset.name
+    );
+    for (i, c) in cutoffs.iter().enumerate() {
+        out.push_str(&format!("  cutoff {i}: {c:.1} s\n"));
+    }
+    out.push_str(&format!(
+        "predicted mean slowdown {}\nper-host (load fraction, rho, E[S]):\n",
+        fmt_num(analysis.mean_slowdown)
+    ));
+    for (i, h) in analysis.hosts.iter().enumerate() {
+        out.push_str(&format!(
+            "  host {i}: load {:.3}  rho {:.3}  E[S] {}\n",
+            h.load_fraction,
+            h.rho,
+            fmt_num(1.0 + h.mean_queueing_slowdown)
+        ));
+    }
+    Ok(out)
+}
+
+fn burstiness_cmd(args: &Args) -> Result<String, ArgError> {
+    let trace = match args.get("file") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            let filter = swf::SwfFilter {
+                exact_processors: args
+                    .get("procs")
+                    .map(|p| {
+                        p.parse().map_err(|_| {
+                            ArgError(format!("--procs expects an integer, got {p:?}"))
+                        })
+                    })
+                    .transpose()?,
+                ..swf::SwfFilter::default()
+            };
+            swf::parse_trace(&text, filter).map_err(|e| ArgError(e.to_string()))?
+        }
+        None => {
+            // synthetic demo: bursty MMPP arrivals on the C90 preset
+            let preset = names::workload(args.get_or("workload", "c90"))?;
+            use dses_dist::Distribution as _;
+            let rate = 2.0 * 0.7 / preset.size_dist.mean();
+            dses_workload::WorkloadBuilder::new(preset.size_dist.clone())
+                .jobs(args.get_usize("jobs", 50_000)?)
+                .arrivals(dses_workload::Mmpp2::bursty(rate, 20.0, 50.0))
+                .seed(args.get_u64("seed", 0)?)
+                .build()
+        }
+    };
+    if trace.len() < 100 {
+        return Err(ArgError("trace too short for burstiness statistics".into()));
+    }
+    let report = dses_workload::burstiness_report(&trace, 5, 6);
+    let mut out = format!(
+        "arrival burstiness ({} jobs):\n  interarrival C^2     {:.3}   (Poisson: 1)\n",
+        trace.len(),
+        report.interarrival_scv
+    );
+    out.push_str("  gap autocorrelation  ");
+    for (k, rho) in report.gap_autocorrelation.iter().enumerate() {
+        out.push_str(&format!("lag{}={rho:+.3} ", k + 1));
+    }
+    out.push_str("  (Poisson: 0)\n  index of dispersion  ");
+    for (w, idc) in &report.idc {
+        out.push_str(&format!("IDC({w:.0}s)={idc:.2} "));
+    }
+    out.push_str("  (Poisson: 1)\n");
+    Ok(out)
+}
+
+fn swf_cmd(args: &Args) -> Result<String, ArgError> {
+    let path = args
+        .get("file")
+        .ok_or_else(|| ArgError("swf needs --file <path>".to_string()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let filter = swf::SwfFilter {
+        exact_processors: args.get("procs").map(|p| {
+            p.parse()
+                .map_err(|_| ArgError(format!("--procs expects an integer, got {p:?}")))
+        }).transpose()?,
+        ..swf::SwfFilter::default()
+    };
+    let trace = swf::parse_trace(&text, filter).map_err(|e| ArgError(e.to_string()))?;
+    if trace.is_empty() {
+        return Err(ArgError("trace is empty after filtering".to_string()));
+    }
+    let hosts = args.get_usize("hosts", 2)?;
+    let trace: Trace = match args.get("load") {
+        Some(_) => {
+            let rho = args.get_f64("load", 0.7)?;
+            trace.scale_to_load(hosts, rho)
+        }
+        None => trace,
+    };
+    let spec = names::policy(args.get_or("policy", "least-work-left"))?;
+    // build the policy against the trace's own empirical distribution
+    let sizes = trace.sizes();
+    let emp = dses_dist::Empirical::from_values(&sizes)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let experiment = Experiment::new(EmpiricalArc(std::sync::Arc::new(emp)))
+        .hosts(hosts)
+        .warmup_jobs(args.get_usize("warmup", 0)?)
+        .seed(args.get_u64("seed", 0)?);
+    let result = experiment
+        .try_run_on_trace(&spec, &trace)
+        .map_err(|e| ArgError(format!("{}: {e}", spec.name())))?;
+    let s = trace.size_summary();
+    let mut out = format!(
+        "SWF trace {path}: {} jobs, mean size {:.1}s, C^2 {:.2}, system load {:.3}\n\n",
+        trace.len(),
+        s.mean(),
+        s.scv(),
+        trace.system_load(hosts)
+    );
+    out.push_str(&render_result(&format!("{} on {hosts} hosts", spec.name()), &result));
+    Ok(out)
+}
+
+/// Cheap-clone wrapper so the empirical distribution can drive an
+/// [`Experiment`] (which requires `Clone`).
+#[derive(Debug, Clone)]
+struct EmpiricalArc(std::sync::Arc<dses_dist::Empirical>);
+
+impl Distribution for EmpiricalArc {
+    fn sample(&self, rng: &mut dses_dist::Rng64) -> f64 {
+        self.0.sample(rng)
+    }
+    fn support(&self) -> (f64, f64) {
+        self.0.support()
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.0.cdf(x)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        self.0.quantile(p)
+    }
+    fn raw_moment(&self, k: i32) -> f64 {
+        self.0.raw_moment(k)
+    }
+    fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
+        self.0.partial_moment(k, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, ArgError> {
+        let args = Args::parse(tokens.iter().map(|s| (*s).to_string()))?;
+        run(&args)
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = help();
+        for cmd in ["simulate", "analyze", "sweep", "cutoff", "swf", "workloads"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn workloads_and_policies_render() {
+        let w = run_tokens(&["workloads"]).unwrap();
+        assert!(w.contains("PSC-C90"));
+        let p = run_tokens(&["policies"]).unwrap();
+        assert!(p.contains("sita-u-fair"));
+    }
+
+    #[test]
+    fn simulate_small_run() {
+        let out = run_tokens(&[
+            "simulate", "--policy", "lwl", "--jobs", "3000", "--warmup", "100", "--load", "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("mean slowdown"));
+        assert!(out.contains("host 0"));
+    }
+
+    #[test]
+    fn simulate_with_percentiles_and_fairness() {
+        let out = run_tokens(&[
+            "simulate", "--policy", "fair", "--jobs", "4000", "--load", "0.6", "--fairness",
+            "--percentiles",
+        ])
+        .unwrap();
+        assert!(out.contains("percentiles"));
+        assert!(out.contains("size-band"));
+        assert!(out.contains("class slowdowns"));
+    }
+
+    #[test]
+    fn analyze_prints_cutoffs() {
+        let out = run_tokens(&["analyze", "--policy", "fair", "--load", "0.7"]).unwrap();
+        assert!(out.contains("cutoffs"));
+        assert!(out.contains("load on host 0"));
+    }
+
+    #[test]
+    fn sweep_renders_tables() {
+        let out = run_tokens(&[
+            "sweep", "--policies", "lwl,sita-e", "--loads", "0.4,0.6", "--jobs", "2000",
+        ])
+        .unwrap();
+        assert!(out.contains("mean slowdown"));
+        assert!(out.contains("Least-Work-Left"));
+        assert!(out.contains("0.60"));
+    }
+
+    #[test]
+    fn cutoff_solves() {
+        let out = run_tokens(&["cutoff", "--method", "fair", "--load", "0.6"]).unwrap();
+        assert!(out.contains("cutoff 0"));
+        assert!(out.contains("per-host"));
+    }
+
+    #[test]
+    fn swf_round_trip_via_tempfile() {
+        let preset = dses_workload::psc_c90();
+        let trace = preset.trace(500, 0.5, 2, 1);
+        let text = swf::write_swf(&trace, 8);
+        let path = std::env::temp_dir().join("dses_cli_test.swf");
+        std::fs::write(&path, text).unwrap();
+        let out = run_tokens(&[
+            "swf",
+            "--file",
+            path.to_str().unwrap(),
+            "--policy",
+            "lwl",
+            "--load",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("SWF trace"));
+        assert!(out.contains("mean slowdown"));
+    }
+
+    #[test]
+    fn bad_inputs_are_reported_not_panicked() {
+        assert!(run_tokens(&["simulate", "--load", "1.5"]).is_err());
+        assert!(run_tokens(&["simulate", "--policy", "nope"]).is_err());
+        assert!(run_tokens(&["frobnicate"]).is_err());
+        assert!(run_tokens(&["swf"]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod burstiness_and_slo_tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, ArgError> {
+        let args = Args::parse(tokens.iter().map(|s| (*s).to_string()))?;
+        run(&args)
+    }
+
+    #[test]
+    fn burstiness_synthetic_demo_reports_all_axes() {
+        let out = run_tokens(&["burstiness", "--jobs", "20000"]).unwrap();
+        assert!(out.contains("interarrival C^2"));
+        assert!(out.contains("lag1="));
+        assert!(out.contains("IDC("));
+    }
+
+    #[test]
+    fn burstiness_reads_swf_files() {
+        let preset = dses_workload::psc_c90();
+        let trace = preset.trace(2_000, 0.5, 2, 4);
+        let text = swf::write_swf(&trace, 8);
+        let path = std::env::temp_dir().join("dses_cli_burst.swf");
+        std::fs::write(&path, text).unwrap();
+        let out = run_tokens(&["burstiness", "--file", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("2000 jobs"));
+    }
+
+    #[test]
+    fn simulate_reports_slo_when_asked() {
+        let out = run_tokens(&[
+            "simulate", "--policy", "lwl", "--jobs", "3000", "--load", "0.7", "--slo", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("SLO violations"), "{out}");
+    }
+}
+
+#[cfg(test)]
+mod replicate_tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, ArgError> {
+        let args = Args::parse(tokens.iter().map(|s| (*s).to_string()))?;
+        run(&args)
+    }
+
+    #[test]
+    fn replicate_renders_intervals() {
+        let out = run_tokens(&[
+            "replicate", "--policies", "lwl", "--reps", "3", "--jobs", "2000", "--load", "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("3 replications"));
+        assert!(out.contains("Least-Work-Left"));
+    }
+
+    #[test]
+    fn replicate_rejects_zero_reps() {
+        assert!(run_tokens(&["replicate", "--reps", "0"]).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! `dses` — the command-line interface to the distributed-server
+//! task-assignment simulator and analyzer.
+//!
+//! ```text
+//! dses simulate --workload c90 --policy sita-u-fair --load 0.7
+//! dses sweep --policies lwl,sita-e,fair --loads 0.3:0.9:0.2
+//! dses cutoff --method fair --load 0.7
+//! dses swf --file trace.swf --procs 8 --policy lwl --load 0.6
+//! ```
+//!
+//! See `dses help` for the full command reference.
+
+mod args;
+mod commands;
+mod names;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", commands::help());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

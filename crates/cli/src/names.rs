@@ -1,0 +1,147 @@
+//! Name → object resolution for workloads and policies.
+
+use dses_core::cutoffs::CutoffMethod;
+use dses_core::PolicySpec;
+use dses_queueing::policies::AnalyticPolicy;
+use dses_workload::WorkloadPreset;
+
+use crate::args::ArgError;
+
+/// Resolve a workload preset by name (`c90`, `j90`, `ctc`).
+pub fn workload(name: &str) -> Result<WorkloadPreset, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "c90" | "psc-c90" => Ok(dses_workload::psc_c90()),
+        "j90" | "psc-j90" => Ok(dses_workload::psc_j90()),
+        "ctc" | "ctc-sp2" | "sp2" => Ok(dses_workload::ctc_sp2()),
+        other => Err(ArgError(format!(
+            "unknown workload {other:?}; expected c90, j90 or ctc"
+        ))),
+    }
+}
+
+/// Resolve a simulation policy by name.
+pub fn policy(name: &str) -> Result<PolicySpec, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "random" => Ok(PolicySpec::Random),
+        "round-robin" | "rr" => Ok(PolicySpec::RoundRobin),
+        "shortest-queue" | "sq" => Ok(PolicySpec::ShortestQueue),
+        "least-work-left" | "lwl" => Ok(PolicySpec::LeastWorkLeft),
+        "central-queue" | "cq" => Ok(PolicySpec::CentralQueue),
+        "central-sjf" | "sjf" => Ok(PolicySpec::CentralSjf),
+        "sita-e" => Ok(PolicySpec::SitaE),
+        "sita-u-opt" | "opt" => Ok(PolicySpec::SitaUOpt),
+        "sita-u-fair" | "fair" => Ok(PolicySpec::SitaUFair),
+        "sita-u-rot" | "rot" | "rule-of-thumb" => Ok(PolicySpec::SitaRuleOfThumb),
+        "grouped-e" => Ok(PolicySpec::Grouped {
+            method: CutoffMethod::EqualLoad,
+        }),
+        "grouped-opt" => Ok(PolicySpec::Grouped {
+            method: CutoffMethod::OptSlowdown,
+        }),
+        "grouped-fair" => Ok(PolicySpec::Grouped {
+            method: CutoffMethod::Fair,
+        }),
+        other => Err(ArgError(format!(
+            "unknown policy {other:?}; try `dses policies`"
+        ))),
+    }
+}
+
+/// Resolve a comma-separated policy list.
+pub fn policy_list(spec: &str) -> Result<Vec<PolicySpec>, ArgError> {
+    spec.split(',').map(|tok| policy(tok.trim())).collect()
+}
+
+/// Resolve an analytic policy by name.
+pub fn analytic_policy(name: &str) -> Result<AnalyticPolicy, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "random" => Ok(AnalyticPolicy::Random),
+        "round-robin" | "rr" => Ok(AnalyticPolicy::RoundRobin),
+        "least-work-left" | "lwl" | "central-queue" | "cq" => Ok(AnalyticPolicy::LeastWorkLeft),
+        "sita-e" => Ok(AnalyticPolicy::SitaE),
+        "sita-u-opt" | "opt" => Ok(AnalyticPolicy::SitaUOpt),
+        "sita-u-fair" | "fair" => Ok(AnalyticPolicy::SitaUFair),
+        other => Err(ArgError(format!(
+            "no analytic model for policy {other:?}"
+        ))),
+    }
+}
+
+/// Resolve a cutoff method by name.
+pub fn cutoff_method(name: &str) -> Result<CutoffMethod, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "equal-load" | "e" | "sita-e" => Ok(CutoffMethod::EqualLoad),
+        "opt" | "sita-u-opt" => Ok(CutoffMethod::OptSlowdown),
+        "fair" | "sita-u-fair" => Ok(CutoffMethod::Fair),
+        "rot" | "rule-of-thumb" => Ok(CutoffMethod::RuleOfThumb),
+        other => Err(ArgError(format!("unknown cutoff method {other:?}"))),
+    }
+}
+
+/// The policy roster for `dses policies`.
+pub fn all_policy_names() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("random", "uniformly random host"),
+        ("round-robin", "job i -> host i mod h"),
+        ("shortest-queue", "fewest jobs in system"),
+        ("least-work-left", "least unfinished work (= central-queue)"),
+        ("central-queue", "FCFS queue at the dispatcher"),
+        ("central-sjf", "shortest-job-first at the dispatcher (unfair)"),
+        ("sita-e", "size bands, equal load per host"),
+        ("sita-u-opt", "size bands, cutoff minimising mean slowdown"),
+        ("sita-u-fair", "size bands, equal short/long slowdown (the paper's policy)"),
+        ("sita-u-rot", "size bands, the rho/2 rule of thumb (2 hosts)"),
+        ("grouped-e | grouped-opt | grouped-fair", "host groups + LWL (paper section 5)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_aliases() {
+        assert_eq!(workload("c90").unwrap().name, "PSC-C90");
+        assert_eq!(workload("CTC").unwrap().name, "CTC-SP2");
+        assert!(workload("mars").is_err());
+    }
+
+    #[test]
+    fn policy_aliases() {
+        assert_eq!(policy("lwl").unwrap(), PolicySpec::LeastWorkLeft);
+        assert_eq!(policy("fair").unwrap(), PolicySpec::SitaUFair);
+        assert!(matches!(
+            policy("grouped-fair").unwrap(),
+            PolicySpec::Grouped { .. }
+        ));
+        assert!(policy("magic").is_err());
+    }
+
+    #[test]
+    fn policy_lists() {
+        let list = policy_list("random, lwl ,sita-e").unwrap();
+        assert_eq!(list.len(), 3);
+        assert!(policy_list("random,nope").is_err());
+    }
+
+    #[test]
+    fn analytic_names() {
+        assert_eq!(
+            analytic_policy("cq").unwrap(),
+            AnalyticPolicy::LeastWorkLeft
+        );
+        assert!(analytic_policy("shortest-queue").is_err());
+    }
+
+    #[test]
+    fn cutoff_methods() {
+        assert_eq!(cutoff_method("fair").unwrap(), CutoffMethod::Fair);
+        assert_eq!(cutoff_method("rot").unwrap(), CutoffMethod::RuleOfThumb);
+        assert!(cutoff_method("x").is_err());
+    }
+
+    #[test]
+    fn roster_is_nonempty() {
+        assert!(all_policy_names().len() >= 10);
+    }
+}

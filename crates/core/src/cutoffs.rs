@@ -1,0 +1,287 @@
+//! Resolving SITA cutoffs — analytically or experimentally.
+//!
+//! The paper determines its cutoffs "both analytically and experimentally
+//! using half of the trace data" and evaluates on the other half (§4.1),
+//! finding the two methods agree. We implement both:
+//!
+//! * **Analytic** ([`resolve_cutoff`]) — Theorem-1 machinery from
+//!   `dses-queueing`, applied to the job-size distribution (which may be
+//!   an [`dses_dist::Empirical`] built from a training trace — exactly
+//!   the paper's "compute the load and E{X²} at each host from the trace
+//!   data").
+//! * **Experimental** ([`experimental_cutoff`]) — simulate a training
+//!   trace at a grid of candidate cutoffs and pick the best (SITA-U-opt)
+//!   or the most balanced short/long slowdown (SITA-U-fair).
+
+use crate::policies::SizeInterval;
+use crate::rule_of_thumb::rule_of_thumb_cutoff;
+use dses_dist::{Distribution, Empirical};
+use dses_queueing::cutoff::{
+    sita_e_cutoffs, sita_u_fair_cutoff, sita_u_fair_cutoffs_multi, sita_u_opt_cutoff,
+    sita_u_opt_cutoffs_multi, CutoffError,
+};
+use dses_sim::{simulate_dispatch, MetricsConfig};
+use dses_workload::Trace;
+
+/// Which SITA cutoff rule to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutoffMethod {
+    /// Equalise per-host load — SITA-E.
+    EqualLoad,
+    /// Minimise mean slowdown — SITA-U-opt (2 hosts).
+    OptSlowdown,
+    /// Equalise short-job and long-job expected slowdown — SITA-U-fair
+    /// (2 hosts).
+    Fair,
+    /// The ρ/2 rule of thumb (2 hosts).
+    RuleOfThumb,
+}
+
+impl CutoffMethod {
+    /// Paper-style policy label for this rule.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CutoffMethod::EqualLoad => "SITA-E",
+            CutoffMethod::OptSlowdown => "SITA-U-opt",
+            CutoffMethod::Fair => "SITA-U-fair",
+            CutoffMethod::RuleOfThumb => "SITA-U-rot",
+        }
+    }
+}
+
+/// Resolve cutoffs analytically for `hosts` hosts at total arrival rate
+/// `lambda`.
+///
+/// `EqualLoad`, `OptSlowdown` and `Fair` support any host count (the
+/// SITA-U rules use the multi-host water-filling/coordinate-descent
+/// solvers beyond 2 hosts — an extension over the paper, whose §5 falls
+/// back to grouping; see [`crate::policies::GroupedSita`] for that
+/// policy). `RuleOfThumb` is the paper's 2-host rule.
+pub fn resolve_cutoff<D: Distribution + ?Sized>(
+    dist: &D,
+    lambda: f64,
+    hosts: usize,
+    method: CutoffMethod,
+) -> Result<Vec<f64>, CutoffError> {
+    match method {
+        CutoffMethod::EqualLoad => sita_e_cutoffs(dist, hosts),
+        CutoffMethod::OptSlowdown => {
+            if hosts == 2 {
+                Ok(vec![sita_u_opt_cutoff(dist, lambda)?])
+            } else {
+                sita_u_opt_cutoffs_multi(dist, lambda, hosts)
+            }
+        }
+        CutoffMethod::Fair => {
+            if hosts == 2 {
+                Ok(vec![sita_u_fair_cutoff(dist, lambda)?])
+            } else {
+                sita_u_fair_cutoffs_multi(dist, lambda, hosts)
+            }
+        }
+        CutoffMethod::RuleOfThumb => {
+            if hosts != 2 {
+                return Err(CutoffError::SolveFailed(format!(
+                    "the rho/2 rule of thumb is the paper's 2-host rule (got {hosts} hosts)"
+                )));
+            }
+            let rho = lambda * dist.raw_moment(1) / hosts as f64;
+            if rho >= 1.0 {
+                return Err(CutoffError::Infeasible { offered: rho * hosts as f64 });
+            }
+            Ok(vec![rule_of_thumb_cutoff(dist, rho)])
+        }
+    }
+}
+
+/// Determine a 2-host cutoff *experimentally*: simulate `training` at
+/// `grid` log-spaced candidate cutoffs and select per `method`
+/// (`OptSlowdown` → lowest mean slowdown; `Fair` → smallest
+/// short-vs-long slowdown gap; `EqualLoad`/`RuleOfThumb` → computed from
+/// the trace's empirical distribution, no simulation needed).
+///
+/// This is the paper's procedure: "The experimental cutoffs are derived
+/// in the same way only that for a given cutoff we used simulation
+/// instead of analysis" (§4.1).
+pub fn experimental_cutoff(
+    training: &Trace,
+    method: CutoffMethod,
+    grid: usize,
+    seed: u64,
+) -> Result<f64, CutoffError> {
+    assert!(grid >= 2, "need at least two candidate cutoffs");
+    let sizes = training.sizes();
+    let emp = Empirical::from_values(&sizes)
+        .map_err(|e| CutoffError::SolveFailed(format!("empirical build failed: {e}")))?;
+    match method {
+        CutoffMethod::EqualLoad => {
+            return Ok(sita_e_cutoffs(&emp, 2)?[0]);
+        }
+        CutoffMethod::RuleOfThumb => {
+            let rho = training.system_load(2);
+            if !(rho < 1.0) {
+                return Err(CutoffError::Infeasible { offered: 2.0 * rho });
+            }
+            return Ok(rule_of_thumb_cutoff(&emp, rho));
+        }
+        CutoffMethod::OptSlowdown | CutoffMethod::Fair => {}
+    }
+    let (lo, hi) = emp.support();
+    let (llo, lhi) = (lo.max(1e-12).ln(), hi.ln());
+    let mut best_cutoff = f64::NAN;
+    let mut best_score = f64::INFINITY;
+    for i in 1..grid {
+        let c = (llo + (lhi - llo) * i as f64 / grid as f64).exp();
+        let mut policy = SizeInterval::new(vec![c], "candidate");
+        let result = simulate_dispatch(
+            training,
+            2,
+            &mut policy,
+            seed,
+            MetricsConfig {
+                split_cutoff: Some(c),
+                ..MetricsConfig::default()
+            },
+        );
+        let score = match method {
+            CutoffMethod::OptSlowdown => result.slowdown.mean,
+            CutoffMethod::Fair => {
+                let short = result.short_slowdown.expect("split configured");
+                let long = result.long_slowdown.expect("split configured");
+                if short.count == 0 || long.count == 0 {
+                    f64::INFINITY
+                } else {
+                    (short.mean - long.mean).abs()
+                }
+            }
+            _ => unreachable!("handled above"),
+        };
+        if score < best_score {
+            best_score = score;
+            best_cutoff = c;
+        }
+    }
+    if best_cutoff.is_nan() {
+        Err(CutoffError::SolveFailed(
+            "no candidate cutoff produced a finite score".to_string(),
+        ))
+    } else {
+        Ok(best_cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dses_dist::fit::{fit_body_tail, BodyTailTargets};
+    use dses_dist::Mixture;
+    use dses_workload::WorkloadBuilder;
+
+    fn c90ish() -> Mixture {
+        fit_body_tail(BodyTailTargets {
+            mean: 4562.0,
+            scv: 43.0,
+            min: 60.0,
+            max: 2.22e6,
+            tail_jobs: 0.013,
+            tail_load: 0.5,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn analytic_resolution_by_method() {
+        let d = c90ish();
+        let lambda = 1.2 / d.mean(); // system load 0.6 on 2 hosts
+        let e = resolve_cutoff(&d, lambda, 2, CutoffMethod::EqualLoad).unwrap();
+        let opt = resolve_cutoff(&d, lambda, 2, CutoffMethod::OptSlowdown).unwrap();
+        let fair = resolve_cutoff(&d, lambda, 2, CutoffMethod::Fair).unwrap();
+        let rot = resolve_cutoff(&d, lambda, 2, CutoffMethod::RuleOfThumb).unwrap();
+        // unbalancing rules pick smaller cutoffs than equal-load
+        assert!(opt[0] < e[0]);
+        assert!(fair[0] < e[0]);
+        assert!(rot[0] < e[0]);
+    }
+
+    #[test]
+    fn sita_u_generalises_to_four_hosts() {
+        let d = c90ish();
+        let lambda = 0.7 * 4.0 / d.mean();
+        for method in [CutoffMethod::OptSlowdown, CutoffMethod::Fair, CutoffMethod::EqualLoad] {
+            let cuts = resolve_cutoff(&d, lambda, 4, method).unwrap();
+            assert_eq!(cuts.len(), 3, "{method:?}");
+            assert!(cuts.windows(2).all(|w| w[0] < w[1]), "{method:?}");
+        }
+        // the rule of thumb remains the paper's 2-host rule
+        assert!(resolve_cutoff(&d, lambda, 4, CutoffMethod::RuleOfThumb).is_err());
+    }
+
+    #[test]
+    fn experimental_agrees_with_analytic_on_equal_load() {
+        let d = c90ish();
+        let trace = WorkloadBuilder::new(d.clone())
+            .jobs(20_000)
+            .poisson_load(0.5, 2)
+            .seed(3)
+            .build();
+        let exp = experimental_cutoff(&trace, CutoffMethod::EqualLoad, 40, 0).unwrap();
+        let ana = resolve_cutoff(&d, 1.0 / d.mean(), 2, CutoffMethod::EqualLoad).unwrap()[0];
+        // same order of magnitude (the trace is a finite sample)
+        assert!(exp > ana / 5.0 && exp < ana * 5.0, "exp {exp} vs ana {ana}");
+    }
+
+    #[test]
+    fn experimental_opt_beats_experimental_equal_load() {
+        let d = c90ish();
+        let trace = WorkloadBuilder::new(d)
+            .jobs(15_000)
+            .poisson_load(0.6, 2)
+            .seed(5)
+            .build();
+        let c_e = experimental_cutoff(&trace, CutoffMethod::EqualLoad, 30, 0).unwrap();
+        let c_o = experimental_cutoff(&trace, CutoffMethod::OptSlowdown, 30, 0).unwrap();
+        let score = |c: f64| {
+            let mut p = SizeInterval::new(vec![c], "x");
+            simulate_dispatch(&trace, 2, &mut p, 0, MetricsConfig::default())
+                .slowdown
+                .mean
+        };
+        assert!(score(c_o) <= score(c_e) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn experimental_fair_narrows_the_gap() {
+        let d = c90ish();
+        let trace = WorkloadBuilder::new(d)
+            .jobs(15_000)
+            .poisson_load(0.6, 2)
+            .seed(7)
+            .build();
+        let c = experimental_cutoff(&trace, CutoffMethod::Fair, 30, 0).unwrap();
+        let mut p = SizeInterval::new(vec![c], "fair");
+        let r = simulate_dispatch(&trace, 2, &mut p, 0, MetricsConfig {
+            split_cutoff: Some(c),
+            ..MetricsConfig::default()
+        });
+        let short = r.short_slowdown.unwrap().mean;
+        let long = r.long_slowdown.unwrap().mean;
+        // gap smaller than the equal-load gap
+        let c_e = experimental_cutoff(&trace, CutoffMethod::EqualLoad, 30, 0).unwrap();
+        let mut pe = SizeInterval::new(vec![c_e], "e");
+        let re = simulate_dispatch(&trace, 2, &mut pe, 0, MetricsConfig {
+            split_cutoff: Some(c_e),
+            ..MetricsConfig::default()
+        });
+        let gap_fair = (short - long).abs();
+        let gap_e =
+            (re.short_slowdown.unwrap().mean - re.long_slowdown.unwrap().mean).abs();
+        assert!(gap_fair <= gap_e, "fair gap {gap_fair} vs E gap {gap_e}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CutoffMethod::EqualLoad.label(), "SITA-E");
+        assert_eq!(CutoffMethod::Fair.label(), "SITA-U-fair");
+    }
+}

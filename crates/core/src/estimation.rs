@@ -1,0 +1,290 @@
+//! Imperfect size estimates — the paper's §7 ("Limitations and future
+//! work").
+//!
+//! SITA policies need to know which side of the cutoff a job falls on.
+//! The paper argues this is a mild requirement: users only estimate
+//! *short vs long* (not an absolute runtime), a misrouted small job
+//! "will hurt only the performance of these small jobs", and users have
+//! a strong incentive to classify correctly. This module makes those
+//! claims testable:
+//!
+//! * [`NoisySizeInterval`] — routes by a *noisy* size `X·ε` with
+//!   lognormal multiplicative error `ε = e^{σZ}`, modelling coarse
+//!   user runtime estimates;
+//! * [`MisclassifyingSita`] — flips a job's short/long class with
+//!   probability `p` (2-host form), modelling outright user error;
+//! * both collect nothing themselves — run them through the usual
+//!   engines and compare against the oracle [`crate::policies::SizeInterval`].
+
+use crate::policies::SizeInterval;
+use dses_dist::Rng64;
+use dses_sim::{Dispatcher, SystemState};
+use dses_workload::Job;
+
+/// SITA with lognormal-noisy size estimates: the dispatcher sees
+/// `X · e^{σZ}` (`Z` standard normal) instead of `X`.
+///
+/// `σ = 0` recovers the oracle policy; `σ ≈ 1` corresponds to order-of-
+/// magnitude-ish estimation error, far coarser than the "15 or more
+/// different classes" real schedulers ask for (§7).
+#[derive(Debug, Clone)]
+pub struct NoisySizeInterval {
+    inner: SizeInterval,
+    sigma: f64,
+}
+
+impl NoisySizeInterval {
+    /// Create a noisy SITA policy over the given cutoffs.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or the cutoffs are invalid.
+    #[must_use]
+    pub fn new(cutoffs: Vec<f64>, sigma: f64, label: impl Into<String>) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be nonnegative");
+        Self {
+            inner: SizeInterval::new(cutoffs, label),
+            sigma,
+        }
+    }
+
+    /// The estimation-noise parameter σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Dispatcher for NoisySizeInterval {
+    fn dispatch(&mut self, job: &Job, state: &SystemState<'_>, rng: &mut Rng64) -> usize {
+        let estimate = if self.sigma == 0.0 {
+            job.size
+        } else {
+            job.size * (self.sigma * rng.standard_normal()).exp()
+        };
+        let host = self.inner.host_for(estimate);
+        host.min(state.num_hosts() - 1)
+    }
+
+    fn name(&self) -> String {
+        format!("{}+noise(sigma={})", self.inner.name(), self.sigma)
+    }
+}
+
+/// 2-host SITA where a job's short/long classification is *flipped* with
+/// a class-dependent probability — the bluntest model of user
+/// misclassification.
+///
+/// The direction matters enormously, and asymmetrically — which is
+/// exactly the paper's §7 point. A misrouted *short* job queues behind
+/// giants and "will hurt only the performance of these small jobs"; a
+/// misrouted *giant* parks on the short host and stalls the 98.7 % of
+/// traffic living there. The `ablation_noise` exhibit quantifies both
+/// directions separately.
+#[derive(Debug, Clone)]
+pub struct MisclassifyingSita {
+    cutoff: f64,
+    flip_short: f64,
+    flip_long: f64,
+}
+
+impl MisclassifyingSita {
+    /// Flip both classes with the same probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1` and the cutoff is positive.
+    #[must_use]
+    pub fn new(cutoff: f64, flip_prob: f64) -> Self {
+        Self::asymmetric(cutoff, flip_prob, flip_prob)
+    }
+
+    /// Flip short jobs (size ≤ cutoff) to the long host with probability
+    /// `flip_short`, and long jobs to the short host with probability
+    /// `flip_long`.
+    ///
+    /// # Panics
+    /// Panics unless both probabilities are in `[0, 1]` and the cutoff
+    /// is positive.
+    #[must_use]
+    pub fn asymmetric(cutoff: f64, flip_short: f64, flip_long: f64) -> Self {
+        assert!(cutoff > 0.0 && cutoff.is_finite(), "cutoff must be positive");
+        assert!(
+            (0.0..=1.0).contains(&flip_short) && (0.0..=1.0).contains(&flip_long),
+            "flip probability must be in [0, 1]"
+        );
+        Self {
+            cutoff,
+            flip_short,
+            flip_long,
+        }
+    }
+}
+
+impl Dispatcher for MisclassifyingSita {
+    fn dispatch(&mut self, job: &Job, _state: &SystemState<'_>, rng: &mut Rng64) -> usize {
+        let is_long = job.size > self.cutoff;
+        let flip = if is_long { self.flip_long } else { self.flip_short };
+        let correct = usize::from(is_long);
+        if rng.chance(flip) {
+            1 - correct
+        } else {
+            correct
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "SITA+misclassify(short={}, long={})",
+            self.flip_short, self.flip_long
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dses_sim::{simulate_dispatch, MetricsConfig};
+
+    fn c90_setup() -> (dses_workload::Trace, f64) {
+        let preset = dses_workload::psc_c90();
+        let trace = preset.trace(30_000, 0.7, 2, 3);
+        let cutoff = dses_queueing::cutoff::sita_u_fair_cutoff(
+            &preset.size_dist,
+            trace.arrival_rate(),
+        )
+        .unwrap();
+        (trace, cutoff)
+    }
+
+    fn records_cfg(split: f64) -> MetricsConfig {
+        MetricsConfig {
+            split_cutoff: Some(split),
+            warmup_jobs: 1_000,
+            ..MetricsConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_the_oracle() {
+        let (trace, cutoff) = c90_setup();
+        let mut oracle = SizeInterval::new(vec![cutoff], "oracle");
+        let mut noisy = NoisySizeInterval::new(vec![cutoff], 0.0, "noisy");
+        let a = simulate_dispatch(&trace, 2, &mut oracle, 5, records_cfg(cutoff));
+        let b = simulate_dispatch(&trace, 2, &mut noisy, 5, records_cfg(cutoff));
+        assert_eq!(a.slowdown, b.slowdown);
+    }
+
+    #[test]
+    fn zero_flip_probability_is_the_oracle() {
+        let (trace, cutoff) = c90_setup();
+        let mut oracle = SizeInterval::new(vec![cutoff], "oracle");
+        let mut flip = MisclassifyingSita::new(cutoff, 0.0);
+        let a = simulate_dispatch(&trace, 2, &mut oracle, 5, records_cfg(cutoff));
+        let b = simulate_dispatch(&trace, 2, &mut flip, 5, records_cfg(cutoff));
+        assert_eq!(a.slowdown, b.slowdown);
+    }
+
+    #[test]
+    fn mild_noise_degrades_gracefully() {
+        // §7's claim: SITA only needs a coarse short/long judgement, so
+        // moderate estimation error should not destroy the policy.
+        let (trace, cutoff) = c90_setup();
+        let mut oracle = SizeInterval::new(vec![cutoff], "oracle");
+        let mut noisy = NoisySizeInterval::new(vec![cutoff], 0.5, "noisy");
+        let a = simulate_dispatch(&trace, 2, &mut oracle, 5, records_cfg(cutoff));
+        let b = simulate_dispatch(&trace, 2, &mut noisy, 5, records_cfg(cutoff));
+        assert!(
+            b.slowdown.mean < 4.0 * a.slowdown.mean,
+            "oracle {} vs sigma=0.5 noise {}",
+            a.slowdown.mean,
+            b.slowdown.mean
+        );
+        // still far better than not using size information at all
+        let mut lwl = crate::policies::LeastWorkLeft;
+        let c = simulate_dispatch(&trace, 2, &mut lwl, 5, records_cfg(cutoff));
+        assert!(b.slowdown.mean < c.slowdown.mean, "noisy SITA should still beat LWL");
+    }
+
+    #[test]
+    fn misrouted_shorts_hurt_only_themselves() {
+        // §7, read literally: "sending small jobs by mistake to the wrong
+        // machine will hurt only the performance of these small jobs."
+        // The *long class* must be untouched; the misrouted shorts pay
+        // personally (and dearly — queueing behind giants), which is
+        // exactly the user's incentive to classify correctly.
+        let (trace, cutoff) = c90_setup();
+        let mut oracle = SizeInterval::new(vec![cutoff], "oracle");
+        let mut flip = MisclassifyingSita::asymmetric(cutoff, 0.05, 0.0);
+        let a = simulate_dispatch(&trace, 2, &mut oracle, 5, records_cfg(cutoff));
+        let b = simulate_dispatch(&trace, 2, &mut flip, 5, records_cfg(cutoff));
+        let long_oracle = a.long_slowdown.unwrap().mean;
+        let long_flipped = b.long_slowdown.unwrap().mean;
+        assert!(
+            long_flipped < 2.0 * long_oracle.max(2.0),
+            "long class should be insulated: {long_flipped} vs {long_oracle}"
+        );
+        // and the victims are real: the short class degrades
+        assert!(
+            b.short_slowdown.unwrap().mean > a.short_slowdown.unwrap().mean,
+            "misrouted shorts should pay"
+        );
+    }
+
+    #[test]
+    fn misrouted_giants_tax_the_short_class_not_the_long() {
+        // the other direction: a giant misrouted onto the short host
+        // stalls the short traffic (raising short E[S]) while the long
+        // class, if anything, improves (its strays found an underloaded
+        // host) — fairness enforcement must police the longs' estimates.
+        let (trace, cutoff) = c90_setup();
+        let mut oracle = SizeInterval::new(vec![cutoff], "oracle");
+        let mut longs_wrong = MisclassifyingSita::asymmetric(cutoff, 0.0, 0.05);
+        let a = simulate_dispatch(&trace, 2, &mut oracle, 5, records_cfg(cutoff));
+        let b = simulate_dispatch(&trace, 2, &mut longs_wrong, 5, records_cfg(cutoff));
+        let short_oracle = a.short_slowdown.unwrap().mean;
+        let short_taxed = b.short_slowdown.unwrap().mean;
+        assert!(
+            short_taxed > 1.5 * short_oracle,
+            "stray giants should tax the shorts: {short_taxed} vs {short_oracle}"
+        );
+        let long_oracle = a.long_slowdown.unwrap().mean;
+        let long_flipped = b.long_slowdown.unwrap().mean;
+        assert!(
+            long_flipped < 2.0 * long_oracle.max(2.0),
+            "long class should not be worse off: {long_flipped} vs {long_oracle}"
+        );
+    }
+
+    #[test]
+    fn heavy_misclassification_is_costly() {
+        // the incentive argument: getting classification right matters
+        let (trace, cutoff) = c90_setup();
+        let mut oracle = SizeInterval::new(vec![cutoff], "oracle");
+        let mut chaos = MisclassifyingSita::new(cutoff, 0.5);
+        let a = simulate_dispatch(&trace, 2, &mut oracle, 5, records_cfg(cutoff));
+        let b = simulate_dispatch(&trace, 2, &mut chaos, 5, records_cfg(cutoff));
+        assert!(
+            b.slowdown.mean > 2.0 * a.slowdown.mean,
+            "50% misclassification should hurt: oracle {} vs {}",
+            a.slowdown.mean,
+            b.slowdown.mean
+        );
+    }
+
+    #[test]
+    fn noise_grows_monotonically_painful_on_average() {
+        let (trace, cutoff) = c90_setup();
+        let mut means = Vec::new();
+        for sigma in [0.0, 1.0, 3.0] {
+            let mut p = NoisySizeInterval::new(vec![cutoff], sigma, "n");
+            let r = simulate_dispatch(&trace, 2, &mut p, 5, records_cfg(cutoff));
+            means.push(r.slowdown.mean);
+        }
+        assert!(means[0] < means[2], "sigma=0 {} vs sigma=3 {}", means[0], means[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probability")]
+    fn rejects_bad_probability() {
+        let _ = MisclassifyingSita::new(10.0, 1.5);
+    }
+}

@@ -1,0 +1,525 @@
+//! The experiment runner: one call from "policy + workload + load" to
+//! the metrics the paper plots.
+
+use crate::spec::{BuiltPolicy, PolicySpec};
+use dses_dist::Distribution;
+use dses_queueing::cutoff::CutoffError;
+use dses_queueing::policies::{analyze_policy, AnalyticMetrics, AnalyticPolicy};
+use dses_sim::{simulate_dispatch, EventEngine, MetricsConfig, SimResult};
+use dses_workload::{Trace, WorkloadBuilder};
+
+/// A configured experiment: a workload distribution plus simulation
+/// parameters. Cheap to clone; immutable once built.
+#[derive(Debug, Clone)]
+pub struct Experiment<D: Distribution + Clone + 'static> {
+    dist: D,
+    hosts: usize,
+    jobs: usize,
+    seed: u64,
+    warmup_jobs: usize,
+    fairness_bins: usize,
+    percentiles: bool,
+    slo_slowdown: Option<f64>,
+}
+
+impl<D: Distribution + Clone + 'static> Experiment<D> {
+    /// Start an experiment on the given job-size distribution.
+    #[must_use]
+    pub fn new(dist: D) -> Self {
+        Self {
+            dist,
+            hosts: 2,
+            jobs: 50_000,
+            seed: 0,
+            warmup_jobs: 0,
+            fairness_bins: 0,
+            percentiles: false,
+            slo_slowdown: None,
+        }
+    }
+
+    /// Number of hosts (default 2, the paper's primary configuration).
+    #[must_use]
+    pub fn hosts(mut self, hosts: usize) -> Self {
+        assert!(hosts > 0, "need at least one host");
+        self.hosts = hosts;
+        self
+    }
+
+    /// Number of jobs to simulate per run (default 50 000).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Seed for trace generation and policy randomness.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Discard the first `n` jobs from the aggregates (warm-up trim).
+    #[must_use]
+    pub fn warmup_jobs(mut self, n: usize) -> Self {
+        self.warmup_jobs = n;
+        self
+    }
+
+    /// Collect a slowdown-vs-size fairness profile with `bins` log bins.
+    #[must_use]
+    pub fn fairness_bins(mut self, bins: usize) -> Self {
+        self.fairness_bins = bins;
+        self
+    }
+
+    /// Track streaming slowdown percentiles (p50/p90/p95/p99).
+    #[must_use]
+    pub fn percentiles(mut self, on: bool) -> Self {
+        self.percentiles = on;
+        self
+    }
+
+    /// Count jobs whose slowdown exceeds `threshold` (SLO violations).
+    #[must_use]
+    pub fn slo(mut self, threshold: f64) -> Self {
+        assert!(threshold >= 1.0, "slowdown SLO must be at least 1");
+        self.slo_slowdown = Some(threshold);
+        self
+    }
+
+    /// Number of hosts configured.
+    #[must_use]
+    pub fn num_hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// The job-size distribution.
+    #[must_use]
+    pub fn dist(&self) -> &D {
+        &self.dist
+    }
+
+    /// Generate the Poisson trace for target system load `rho`.
+    #[must_use]
+    pub fn trace(&self, rho: f64) -> Trace {
+        WorkloadBuilder::new(self.dist.clone())
+            .jobs(self.jobs)
+            .poisson_load(rho, self.hosts)
+            .seed(self.seed)
+            .build()
+    }
+
+    fn metrics_config(&self, split_cutoff: Option<f64>) -> MetricsConfig {
+        let (lo, hi) = self.dist.support();
+        let hi = if hi.is_finite() { hi * 1.01 } else { 1.0e9 };
+        MetricsConfig {
+            warmup_jobs: self.warmup_jobs,
+            collect_records: false,
+            fairness_bins: self.fairness_bins,
+            fairness_range: (lo.max(1e-3), hi),
+            split_cutoff,
+            slowdown_percentiles: self.percentiles,
+            slo_slowdown: self.slo_slowdown,
+        }
+    }
+
+    /// Simulate `spec` at target system load `rho` (Poisson arrivals).
+    ///
+    /// # Panics
+    /// Panics if the policy cannot be built (e.g. no stabilising SITA
+    /// cutoff); use [`Experiment::try_run`] to handle that case.
+    #[must_use]
+    pub fn run(&self, spec: &PolicySpec, rho: f64) -> SimResult {
+        self.try_run(spec, rho)
+            .unwrap_or_else(|e| panic!("{} at rho={rho}: {e}", spec.name()))
+    }
+
+    /// Simulate `spec` at target system load `rho`, propagating policy
+    /// resolution errors.
+    pub fn try_run(&self, spec: &PolicySpec, rho: f64) -> Result<SimResult, CutoffError> {
+        let trace = self.trace(rho);
+        self.try_run_on_trace(spec, &trace)
+    }
+
+    /// Simulate `spec` on an externally supplied trace (e.g. bursty
+    /// arrivals from an MMPP, or a real SWF trace).
+    pub fn try_run_on_trace(
+        &self,
+        spec: &PolicySpec,
+        trace: &Trace,
+    ) -> Result<SimResult, CutoffError> {
+        // Resolve cutoffs from the *target* operating point: the job-size
+        // distribution and the trace's realised arrival rate.
+        let lambda = trace.arrival_rate();
+        let built = spec.build(&self.dist, lambda, self.hosts)?;
+        // For 2-host SITA policies, also split slowdown statistics at the
+        // cutoff so short-vs-long fairness is measured for free.
+        let cutoff_method = match spec {
+            PolicySpec::SitaE => Some(crate::cutoffs::CutoffMethod::EqualLoad),
+            PolicySpec::SitaUOpt => Some(crate::cutoffs::CutoffMethod::OptSlowdown),
+            PolicySpec::SitaUFair => Some(crate::cutoffs::CutoffMethod::Fair),
+            PolicySpec::SitaRuleOfThumb => Some(crate::cutoffs::CutoffMethod::RuleOfThumb),
+            _ => None,
+        };
+        let split = match (cutoff_method, spec) {
+            (Some(m), _) if self.hosts == 2 => {
+                crate::cutoffs::resolve_cutoff(&self.dist, lambda, self.hosts, m)
+                    .ok()
+                    .map(|c| c[0])
+            }
+            (None, PolicySpec::SitaFixed { cutoffs }) if cutoffs.len() == 1 => Some(cutoffs[0]),
+            _ => None,
+        };
+        let cfg = self.metrics_config(split);
+        let result = match built {
+            BuiltPolicy::Dispatch(mut p) => {
+                simulate_dispatch(trace, self.hosts, p.as_mut(), self.seed, cfg)
+            }
+            BuiltPolicy::Central(discipline) => {
+                EventEngine::new(self.hosts, cfg).run_central_queue(trace, discipline)
+            }
+        };
+        Ok(result)
+    }
+
+    /// Simulate a whole load sweep.
+    #[must_use]
+    pub fn sweep(&self, spec: &PolicySpec, loads: &[f64]) -> LoadSweep {
+        let points = loads
+            .iter()
+            .map(|&rho| {
+                let result = self.try_run(spec, rho);
+                SweepPoint::from_result(rho, result.ok())
+            })
+            .collect();
+        LoadSweep {
+            policy: spec.name(),
+            points,
+        }
+    }
+
+    /// Analytic prediction at target system load `rho` (Poisson).
+    pub fn analytic(
+        &self,
+        policy: AnalyticPolicy,
+        rho: f64,
+    ) -> Result<AnalyticMetrics, CutoffError> {
+        let lambda = rho * self.hosts as f64 / self.dist.mean();
+        analyze_policy(policy, &self.dist, lambda, self.hosts)
+    }
+}
+
+/// Replicated estimate: mean over independent seeds with a 95 %
+/// confidence half-width (t ≈ 2 for the replication counts in use).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replicated {
+    /// mean over replications
+    pub mean: f64,
+    /// ~95 % confidence half-width
+    pub half_width: f64,
+    /// number of replications
+    pub replications: usize,
+}
+
+impl Replicated {
+    fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        Self {
+            mean,
+            half_width: if n < 2 { f64::INFINITY } else { 2.0 * (var / n as f64).sqrt() },
+            replications: n,
+        }
+    }
+
+    /// Whether another estimate is statistically distinguishable (the
+    /// intervals do not overlap).
+    #[must_use]
+    pub fn distinct_from(&self, other: &Replicated) -> bool {
+        (self.mean - other.mean).abs() > self.half_width + other.half_width
+    }
+}
+
+impl<D: Distribution + Clone + 'static> Experiment<D> {
+    /// Run `replications` independent replications (seeds `seed`,
+    /// `seed+1`, …) and return the replicated mean-slowdown estimate.
+    ///
+    /// Heavy-tailed slowdowns converge slowly within one run; independent
+    /// replications give an honest confidence interval where batch means
+    /// within a single trace would understate the trace-to-trace
+    /// variability.
+    pub fn replicate(
+        &self,
+        spec: &PolicySpec,
+        rho: f64,
+        replications: usize,
+    ) -> Result<Replicated, CutoffError> {
+        assert!(replications >= 1, "need at least one replication");
+        let mut samples = Vec::with_capacity(replications);
+        for r in 0..replications {
+            let clone = self.clone().seed(self.seed.wrapping_add(r as u64));
+            samples.push(clone.try_run(spec, rho)?.slowdown.mean);
+        }
+        Ok(Replicated::from_samples(&samples))
+    }
+}
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// target system load
+    pub rho: f64,
+    /// mean slowdown (response / size), `NaN` if the run failed
+    pub mean_slowdown: f64,
+    /// variance of slowdown
+    pub var_slowdown: f64,
+    /// mean response time
+    pub mean_response: f64,
+    /// variance of response time
+    pub var_response: f64,
+    /// mean waiting time
+    pub mean_waiting: f64,
+    /// fraction of served work on host 0
+    pub load_fraction_host0: f64,
+    /// fraction of jobs served by host 0
+    pub job_fraction_host0: f64,
+    /// jobs measured
+    pub measured: u64,
+}
+
+impl SweepPoint {
+    fn from_result(rho: f64, result: Option<SimResult>) -> Self {
+        match result {
+            Some(r) => Self {
+                rho,
+                mean_slowdown: r.slowdown.mean,
+                var_slowdown: r.slowdown.variance,
+                mean_response: r.response.mean,
+                var_response: r.response.variance,
+                mean_waiting: r.waiting.mean,
+                load_fraction_host0: r.load_fraction(0),
+                job_fraction_host0: r.job_fraction(0),
+                measured: r.measured,
+            },
+            None => Self {
+                rho,
+                mean_slowdown: f64::NAN,
+                var_slowdown: f64::NAN,
+                mean_response: f64::NAN,
+                var_response: f64::NAN,
+                mean_waiting: f64::NAN,
+                load_fraction_host0: f64::NAN,
+                job_fraction_host0: f64::NAN,
+                measured: 0,
+            },
+        }
+    }
+}
+
+/// A policy's metrics across a load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSweep {
+    /// policy display name
+    pub policy: String,
+    /// per-load points, in sweep order
+    pub points: Vec<SweepPoint>,
+}
+
+impl LoadSweep {
+    /// The mean-slowdown series as `(rho, slowdown)` pairs.
+    #[must_use]
+    pub fn slowdown_series(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.rho, p.mean_slowdown)).collect()
+    }
+
+    /// The variance-of-slowdown series.
+    #[must_use]
+    pub fn variance_series(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.rho, p.var_slowdown)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dses_dist::prelude::*;
+
+    fn experiment() -> Experiment<Mixture> {
+        let d = dses_dist::fit::fit_body_tail(dses_dist::fit::BodyTailTargets {
+            mean: 4562.0,
+            scv: 43.0,
+            min: 60.0,
+            max: 2.22e6,
+            tail_jobs: 0.013,
+            tail_load: 0.5,
+        })
+        .unwrap();
+        Experiment::new(d).jobs(15_000).seed(42)
+    }
+
+    #[test]
+    fn run_produces_sensible_metrics() {
+        let e = experiment();
+        let r = e.run(&PolicySpec::LeastWorkLeft, 0.5);
+        assert_eq!(r.measured, 15_000);
+        assert!(r.slowdown.mean >= 1.0);
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn sita_e_beats_random_in_simulation() {
+        let e = experiment();
+        let random = e.run(&PolicySpec::Random, 0.7);
+        let sita = e.run(&PolicySpec::SitaE, 0.7);
+        assert!(
+            sita.slowdown.mean < random.slowdown.mean / 2.0,
+            "sita {} vs random {}",
+            sita.slowdown.mean,
+            random.slowdown.mean
+        );
+    }
+
+    #[test]
+    fn sita_u_fair_beats_sita_e_in_simulation() {
+        let e = experiment();
+        let fair = e.run(&PolicySpec::SitaUFair, 0.7);
+        let sita_e = e.run(&PolicySpec::SitaE, 0.7);
+        assert!(
+            fair.slowdown.mean < sita_e.slowdown.mean,
+            "fair {} vs E {}",
+            fair.slowdown.mean,
+            sita_e.slowdown.mean
+        );
+    }
+
+    #[test]
+    fn lwl_equals_central_queue_on_same_trace() {
+        let e = experiment();
+        let lwl = e.run(&PolicySpec::LeastWorkLeft, 0.6);
+        let cq = e.run(&PolicySpec::CentralQueue, 0.6);
+        // the theorem: response times match job-for-job, hence all moments
+        assert!(
+            (lwl.slowdown.mean - cq.slowdown.mean).abs() / cq.slowdown.mean < 1e-9,
+            "lwl {} vs cq {}",
+            lwl.slowdown.mean,
+            cq.slowdown.mean
+        );
+        assert!((lwl.response.mean - cq.response.mean).abs() / cq.response.mean < 1e-9);
+    }
+
+    #[test]
+    fn try_run_surfaces_infeasibility() {
+        let e = experiment();
+        // rho >= 1 cannot be stabilised by any SITA cutoff
+        assert!(e.try_run(&PolicySpec::SitaUOpt, 1.2).is_err());
+    }
+
+    #[test]
+    fn sweep_collects_points_in_order() {
+        let e = experiment().jobs(4_000);
+        let sweep = e.sweep(&PolicySpec::LeastWorkLeft, &[0.3, 0.5, 0.7]);
+        assert_eq!(sweep.policy, "Least-Work-Left");
+        let rhos: Vec<f64> = sweep.points.iter().map(|p| p.rho).collect();
+        assert_eq!(rhos, vec![0.3, 0.5, 0.7]);
+        // slowdown grows with load
+        let s = sweep.slowdown_series();
+        assert!(s[0].1 < s[2].1);
+    }
+
+    #[test]
+    fn analytic_delegates() {
+        let e = experiment();
+        let m = e.analytic(AnalyticPolicy::Random, 0.5).unwrap();
+        assert!((m.system_load - 0.5).abs() < 1e-9);
+        assert!(m.mean_slowdown > 1.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let e = experiment();
+        let a = e.run(&PolicySpec::Random, 0.5);
+        let b = e.run(&PolicySpec::Random, 0.5);
+        assert_eq!(a.slowdown, b.slowdown);
+    }
+}
+
+#[cfg(test)]
+mod slo_tests {
+    use super::*;
+    use dses_dist::Exponential;
+
+    #[test]
+    fn slo_fraction_flows_through_the_experiment() {
+        let e = Experiment::new(Exponential::with_mean(1.0).unwrap())
+            .hosts(1)
+            .jobs(20_000)
+            .slo(5.0)
+            .seed(2);
+        let r = e.run(&PolicySpec::LeastWorkLeft, 0.7);
+        let frac = r.slo_violation_fraction().expect("slo configured");
+        assert!(frac > 0.0 && frac < 1.0, "violation fraction {frac}");
+        // raising the load raises the violation rate
+        let r2 = e.run(&PolicySpec::LeastWorkLeft, 0.9);
+        assert!(r2.slo_violation_fraction().unwrap() > frac);
+    }
+}
+
+#[cfg(test)]
+mod replication_tests {
+    use super::*;
+    use dses_dist::Mixture;
+
+    fn experiment() -> Experiment<Mixture> {
+        let d = dses_dist::fit::fit_body_tail(dses_dist::fit::BodyTailTargets {
+            mean: 4562.0,
+            scv: 43.0,
+            min: 60.0,
+            max: 2.22e6,
+            tail_jobs: 0.013,
+            tail_load: 0.5,
+        })
+        .unwrap();
+        Experiment::new(d).jobs(8_000).warmup_jobs(500).seed(100)
+    }
+
+    #[test]
+    fn replicate_produces_finite_interval() {
+        let e = experiment();
+        let r = e.replicate(&PolicySpec::LeastWorkLeft, 0.5, 5).unwrap();
+        assert_eq!(r.replications, 5);
+        assert!(r.mean.is_finite() && r.mean >= 1.0);
+        assert!(r.half_width.is_finite() && r.half_width > 0.0);
+    }
+
+    #[test]
+    fn single_replication_has_infinite_half_width() {
+        let e = experiment();
+        let r = e.replicate(&PolicySpec::Random, 0.5, 1).unwrap();
+        assert_eq!(r.half_width, f64::INFINITY);
+    }
+
+    #[test]
+    fn sita_u_and_sita_e_are_statistically_distinct() {
+        let e = experiment();
+        let sita_e = e.replicate(&PolicySpec::SitaE, 0.7, 5).unwrap();
+        let fair = e.replicate(&PolicySpec::SitaUFair, 0.7, 5).unwrap();
+        assert!(
+            fair.distinct_from(&sita_e),
+            "fair {fair:?} vs E {sita_e:?} should not overlap"
+        );
+        assert!(fair.mean < sita_e.mean);
+    }
+
+    #[test]
+    fn replication_errors_propagate() {
+        let e = experiment();
+        assert!(e.replicate(&PolicySpec::SitaUOpt, 1.5, 3).is_err());
+    }
+}

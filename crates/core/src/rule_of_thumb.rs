@@ -1,0 +1,95 @@
+//! The paper's §4.4 rule of thumb for load unbalancing.
+//!
+//! > "If the system load is ρ, then the fraction of the load which is
+//! > assigned to Host 1 should be ρ/2."
+//!
+//! For a 2-host system this pins the cutoff without running any
+//! optimisation: choose `c` so that the load below `c` is `ρ/2` of the
+//! total. The paper found slowdowns within ~10 % of the fully optimised
+//! cutoffs across the C90, J90 and CTC workloads.
+
+use dses_dist::{numeric, Distribution};
+
+/// The rule-of-thumb 2-host cutoff: the size `c` with
+/// `E[X·1{X ≤ c}] / E[X] = ρ/2`.
+///
+/// ```
+/// use dses_dist::prelude::*;
+/// use dses_core::rule_of_thumb_cutoff;
+///
+/// let sizes = BoundedPareto::new(1.0, 1.0e6, 1.1).unwrap();
+/// let c = rule_of_thumb_cutoff(&sizes, 0.6);
+/// let below = sizes.partial_moment(1, 0.0, c) / sizes.mean();
+/// assert!((below - 0.3).abs() < 1e-6); // rho/2 of the load below c
+/// ```
+///
+/// # Panics
+/// Panics unless `0 < rho < 1`.
+#[must_use]
+pub fn rule_of_thumb_cutoff<D: Distribution + ?Sized>(dist: &D, rho: f64) -> f64 {
+    assert!(rho > 0.0 && rho < 1.0, "system load must be in (0, 1), got {rho}");
+    let (lo, hi) = dist.support();
+    let hi = if hi.is_finite() { hi } else { dist.quantile(1.0 - 1e-12) };
+    let target = dist.raw_moment(1) * rho / 2.0;
+    numeric::bisect(
+        |c| dist.partial_moment(1, 0.0, c) - target,
+        lo,
+        hi,
+        1e-13 * hi,
+    )
+    .expect("load-below-c is continuous and spans the target")
+}
+
+/// The load fraction the rule assigns to Host 1 (the short host) at
+/// system load `rho` — trivially `ρ/2`, provided for symmetry with the
+/// measured fractions in the Figure 5 regenerator.
+#[must_use]
+pub fn rule_of_thumb_fraction(rho: f64) -> f64 {
+    rho / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dses_dist::prelude::*;
+
+    #[test]
+    fn cutoff_splits_load_at_half_rho() {
+        let d = BoundedPareto::new(1.0, 1.0e6, 1.1).unwrap();
+        for &rho in &[0.2, 0.5, 0.8] {
+            let c = rule_of_thumb_cutoff(&d, rho);
+            let below = d.partial_moment(1, 0.0, c) / d.mean();
+            assert!((below - rho / 2.0).abs() < 1e-6, "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn cutoff_grows_with_load() {
+        let d = BoundedPareto::new(1.0, 1.0e6, 1.1).unwrap();
+        let c_low = rule_of_thumb_cutoff(&d, 0.2);
+        let c_high = rule_of_thumb_cutoff(&d, 0.9);
+        assert!(c_high > c_low);
+    }
+
+    #[test]
+    fn fraction_is_half_rho() {
+        assert_eq!(rule_of_thumb_fraction(0.5), 0.25);
+        assert_eq!(rule_of_thumb_fraction(0.9), 0.45);
+    }
+
+    #[test]
+    #[should_panic(expected = "system load")]
+    fn rejects_out_of_range_load() {
+        let d = Exponential::new(1.0).unwrap();
+        let _ = rule_of_thumb_cutoff(&d, 1.5);
+    }
+
+    #[test]
+    fn works_on_empirical_distributions() {
+        let emp = Empirical::from_values(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        let c = rule_of_thumb_cutoff(&emp, 0.5);
+        let below = emp.partial_moment(1, 0.0, c) / emp.mean();
+        // step distribution: closest achievable split at or below rho/2
+        assert!(below <= 0.25 + 1e-9, "below = {below}");
+    }
+}

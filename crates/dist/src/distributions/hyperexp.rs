@@ -1,0 +1,210 @@
+//! The hyperexponential distribution — a finite mixture of exponentials.
+//!
+//! `H_n` achieves any `C² ≥ 1` while staying analytically tractable, which
+//! makes it the standard two-moment stand-in for high-variance workloads
+//! in queueing models. We provide a balanced-means `H₂` constructor that
+//! matches a target mean and squared coefficient of variation.
+
+use crate::rng::Rng64;
+use crate::traits::{DistError, Distribution};
+
+/// Hyperexponential distribution: with probability `p_i`, sample from an
+/// exponential of rate `λ_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperExponential {
+    probs: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+impl HyperExponential {
+    /// Create a hyperexponential from branch probabilities and rates.
+    ///
+    /// Probabilities must be positive and sum to 1 (within 1e-9); rates
+    /// must be positive and finite.
+    pub fn new(probs: Vec<f64>, rates: Vec<f64>) -> Result<Self, DistError> {
+        if probs.is_empty() || probs.len() != rates.len() {
+            return Err(DistError::new("probs and rates must be equal-length and non-empty"));
+        }
+        let total: f64 = probs.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(DistError::new(format!("branch probabilities sum to {total}, not 1")));
+        }
+        if probs.iter().any(|&p| !(p > 0.0)) {
+            return Err(DistError::new("all branch probabilities must be positive"));
+        }
+        if rates.iter().any(|&r| !(r > 0.0) || !r.is_finite()) {
+            return Err(DistError::new("all rates must be positive and finite"));
+        }
+        Ok(Self { probs, rates })
+    }
+
+    /// Balanced-means two-branch hyperexponential matching `mean` and
+    /// `scv ≥ 1`.
+    ///
+    /// "Balanced means" sets `p₁/λ₁ = p₂/λ₂`, the conventional
+    /// normalisation (e.g. Allen, *Probability, Statistics and Queueing
+    /// Theory*). For `scv == 1` this degenerates to a plain exponential
+    /// (both branches equal).
+    pub fn fit_mean_scv(mean: f64, scv: f64) -> Result<Self, DistError> {
+        if !(mean > 0.0) || !mean.is_finite() {
+            return Err(DistError::new(format!("mean = {mean} must be positive and finite")));
+        }
+        if !(scv >= 1.0) || !scv.is_finite() {
+            return Err(DistError::new(format!(
+                "hyperexponential requires scv >= 1, got {scv}"
+            )));
+        }
+        let p1 = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+        let p2 = 1.0 - p1;
+        let l1 = 2.0 * p1 / mean;
+        let l2 = 2.0 * p2 / mean;
+        Self::new(vec![p1, p2], vec![l1, l2])
+    }
+
+    /// Branch probabilities.
+    #[must_use]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Branch rates.
+    #[must_use]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+impl Distribution for HyperExponential {
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        let u = rng.uniform();
+        let mut acc = 0.0;
+        for (p, l) in self.probs.iter().zip(&self.rates) {
+            acc += p;
+            if u < acc {
+                return rng.standard_exponential() / l;
+            }
+        }
+        // numerical slack: fall through to the last branch
+        rng.standard_exponential() / self.rates[self.rates.len() - 1]
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(p, l)| p * -(-l * x).exp_m1())
+            .sum()
+    }
+
+    fn raw_moment(&self, k: i32) -> f64 {
+        if k < 0 {
+            return f64::INFINITY; // density positive at 0
+        }
+        let mut fact = 1.0;
+        for i in 2..=k {
+            fact *= f64::from(i);
+        }
+        self.probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(p, l)| p * fact / l.powi(k))
+            .sum()
+    }
+
+    fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let a = a.max(0.0);
+        if k < 0 && a <= 0.0 {
+            return f64::INFINITY;
+        }
+        // mixture of per-branch exponential partial moments
+        self.probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(p, l)| {
+                let e = super::Exponential::new(*l).expect("validated rate");
+                p * e.partial_moment(k, a, b)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_inconsistent_branches() {
+        assert!(HyperExponential::new(vec![], vec![]).is_err());
+        assert!(HyperExponential::new(vec![0.5], vec![1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(vec![0.6, 0.6], vec![1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(vec![0.5, 0.5], vec![1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn fit_matches_mean_and_scv() {
+        for &(mean, scv) in &[(1.0, 1.0), (10.0, 4.0), (4500.0, 43.0)] {
+            let d = HyperExponential::fit_mean_scv(mean, scv).unwrap();
+            assert!((d.mean() - mean).abs() / mean < 1e-10, "mean for scv={scv}");
+            assert!((d.scv() - scv).abs() / scv < 1e-9, "scv: {} vs {scv}", d.scv());
+        }
+    }
+
+    #[test]
+    fn fit_rejects_low_variability() {
+        assert!(HyperExponential::fit_mean_scv(1.0, 0.5).is_err());
+        assert!(HyperExponential::fit_mean_scv(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn cdf_is_valid_distribution_function() {
+        let d = HyperExponential::fit_mean_scv(5.0, 10.0).unwrap();
+        assert_eq!(d.cdf(0.0), 0.0);
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let x = i as f64;
+            let c = d.cdf(x);
+            assert!(c >= prev && c <= 1.0);
+            prev = c;
+        }
+        assert!(d.cdf(1e6) > 0.999_999);
+    }
+
+    #[test]
+    fn sample_mean_matches() {
+        let d = HyperExponential::fit_mean_scv(3.0, 5.0).unwrap();
+        let mut rng = Rng64::seed_from(202);
+        let n = 300_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        assert!((sum / n as f64 - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn partial_moments_sum_to_raw() {
+        let d = HyperExponential::fit_mean_scv(2.0, 8.0).unwrap();
+        for k in [0i32, 1, 2] {
+            let pm = d.partial_moment(k, 0.0, f64::INFINITY);
+            let raw = d.raw_moment(k);
+            assert!((pm - raw).abs() / raw.max(1e-300) < 1e-9, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn degenerates_to_exponential_at_scv_one() {
+        let d = HyperExponential::fit_mean_scv(2.0, 1.0).unwrap();
+        let e = super::super::Exponential::with_mean(2.0).unwrap();
+        for &x in &[0.5, 1.0, 2.0, 5.0] {
+            assert!((d.cdf(x) - e.cdf(x)).abs() < 1e-9, "x = {x}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Concrete distribution implementations.
+//!
+//! The star of the show is [`BoundedPareto`] — the distribution the paper
+//! (and its reference \[11\]) uses to model supercomputing job sizes, with
+//! closed-form partial moments for every integer order. The others cover
+//! the comparison space: light tails ([`Exponential`], [`Erlang`],
+//! [`Deterministic`], [`Uniform`]), heavy tails ([`Pareto`], [`LogNormal`],
+//! [`Weibull`]), and two-moment matching ([`HyperExponential`]).
+
+mod bounded_pareto;
+mod deterministic;
+mod erlang;
+mod exponential;
+mod hyperexp;
+mod lognormal;
+mod mixture;
+mod pareto;
+mod scaled;
+mod uniform;
+mod weibull;
+
+pub use bounded_pareto::BoundedPareto;
+pub use deterministic::Deterministic;
+pub use erlang::Erlang;
+pub use exponential::Exponential;
+pub use hyperexp::HyperExponential;
+pub use lognormal::LogNormal;
+pub use mixture::Mixture;
+pub use pareto::Pareto;
+pub use scaled::Scaled;
+pub use uniform::Uniform;
+pub use weibull::Weibull;

@@ -1,0 +1,174 @@
+//! The (unbounded) Pareto distribution — the classic heavy tail.
+//!
+//! `P(X > x) = (k/x)^α` for `x ≥ k`. Process lifetimes measured on Unix
+//! systems and supercomputing job runtimes are empirically close to Pareto
+//! with `α ≈ 1` (Harchol-Balter & Downey \[12\]); the paper's reference
+//! \[10\] analyses load unbalancing under exactly this distribution.
+//! Moments of order `≥ α` are infinite, which is what makes naive
+//! load-balancing policies fall apart.
+
+use crate::rng::Rng64;
+use crate::traits::{DistError, Distribution};
+
+/// Pareto distribution with scale `k` (minimum value) and tail index `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    k: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto with minimum `k` and tail index `alpha` (both > 0).
+    pub fn new(k: f64, alpha: f64) -> Result<Self, DistError> {
+        if !(k > 0.0) || !k.is_finite() {
+            return Err(DistError::new(format!("scale k = {k} must be positive and finite")));
+        }
+        if !(alpha > 0.0) || !alpha.is_finite() {
+            return Err(DistError::new(format!("tail index alpha = {alpha} must be positive and finite")));
+        }
+        Ok(Self { k, alpha })
+    }
+
+    /// Scale (minimum value).
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.k
+    }
+
+    /// Tail index `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn partial_moment_real(&self, j: f64, a: f64, b: f64) -> f64 {
+        let a = a.max(self.k);
+        if b <= a {
+            return 0.0;
+        }
+        let c = self.alpha * self.k.powf(self.alpha);
+        let e = j - self.alpha;
+        if b.is_finite() {
+            if e.abs() < 1e-12 {
+                c * (b / a).ln()
+            } else {
+                c * (b.powf(e) - a.powf(e)) / e
+            }
+        } else {
+            // infinite upper limit: converges only for j < α
+            if e < 0.0 {
+                -c * a.powf(e) / e
+            } else {
+                f64::INFINITY
+            }
+        }
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        // inverse transform: x = k · u^{-1/α} with u ~ U(0,1)
+        self.k * rng.uniform_open().powf(-1.0 / self.alpha)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.k, f64::INFINITY)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.k {
+            0.0
+        } else {
+            1.0 - (self.k / x).powf(self.alpha)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile probability {p} not in [0,1]");
+        if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.k * (1.0 - p).powf(-1.0 / self.alpha)
+        }
+    }
+
+    fn raw_moment(&self, k: i32) -> f64 {
+        self.partial_moment_real(f64::from(k), self.k, f64::INFINITY)
+    }
+
+    fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
+        self.partial_moment_real(f64::from(k), a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn mean_closed_form() {
+        // E[X] = αk/(α−1) for α > 1
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_moments_above_alpha() {
+        let d = Pareto::new(1.0, 1.5).unwrap();
+        assert!(d.mean().is_finite());
+        assert_eq!(d.raw_moment(2), f64::INFINITY);
+        let d = Pareto::new(1.0, 0.8).unwrap();
+        assert_eq!(d.raw_moment(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn negative_moment_always_finite() {
+        // E[1/X] = α/(k(α+1))
+        let d = Pareto::new(2.0, 1.0).unwrap();
+        assert!((d.raw_moment(-1) - 1.0 / (2.0 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip() {
+        let d = Pareto::new(1.0, 1.1).unwrap();
+        for &p in &[0.0, 0.5, 0.9, 0.999] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+        assert_eq!(d.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn samples_at_least_k() {
+        let d = Pareto::new(3.0, 1.0).unwrap();
+        let mut rng = Rng64::seed_from(77);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn sample_median_matches_quantile() {
+        let d = Pareto::new(1.0, 1.2).unwrap();
+        let mut rng = Rng64::seed_from(78);
+        let mut v: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(f64::total_cmp);
+        let med = v[50_000];
+        let want = d.quantile(0.5);
+        assert!((med - want).abs() / want < 0.02, "median {med} vs {want}");
+    }
+
+    #[test]
+    fn partial_moments_additive_and_match_bounded() {
+        let d = Pareto::new(1.0, 1.5).unwrap();
+        let whole = d.partial_moment(1, 1.0, 100.0);
+        let split = d.partial_moment(1, 1.0, 10.0) + d.partial_moment(1, 10.0, 100.0);
+        assert!((whole - split).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,125 @@
+//! Scaling wrapper: `Scaled(D, c)` is the distribution of `c·X`.
+//!
+//! Everything the paper measures is dimensionless (slowdown = time/time,
+//! load = rate·time, fractions), so rescaling all job sizes by a constant
+//! must leave every result untouched if the arrival process is rescaled
+//! to the same load. `Scaled` makes that a *testable* property of the
+//! whole pipeline (see `tests/properties.rs`), which in turn justifies
+//! calibrating preset workloads by shape rather than absolute seconds.
+
+use crate::rng::Rng64;
+use crate::traits::{DistError, Distribution};
+
+/// The distribution of `factor · X` for `X ~ inner`.
+#[derive(Debug, Clone)]
+pub struct Scaled<D: Distribution> {
+    inner: D,
+    factor: f64,
+}
+
+impl<D: Distribution> Scaled<D> {
+    /// Scale `inner` by `factor > 0`.
+    pub fn new(inner: D, factor: f64) -> Result<Self, DistError> {
+        if !(factor > 0.0) || !factor.is_finite() {
+            return Err(DistError::new(format!(
+                "scale factor {factor} must be positive and finite"
+            )));
+        }
+        Ok(Self { inner, factor })
+    }
+
+    /// The scale factor.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// The wrapped distribution.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: Distribution> Distribution for Scaled<D> {
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        self.factor * self.inner.sample(rng)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        let (lo, hi) = self.inner.support();
+        (lo * self.factor, hi * self.factor)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.inner.cdf(x / self.factor)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.factor * self.inner.quantile(p)
+    }
+
+    fn raw_moment(&self, k: i32) -> f64 {
+        self.factor.powi(k) * self.inner.raw_moment(k)
+    }
+
+    fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
+        self.factor.powi(k) * self.inner.partial_moment(k, a / self.factor, b / self.factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{BoundedPareto, Exponential};
+
+    #[test]
+    fn rejects_bad_factor() {
+        let e = Exponential::new(1.0).unwrap();
+        assert!(Scaled::new(e, 0.0).is_err());
+        let e = Exponential::new(1.0).unwrap();
+        assert!(Scaled::new(e, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn moments_scale_homogeneously() {
+        let bp = BoundedPareto::new(1.0, 1e4, 1.2).unwrap();
+        let s = Scaled::new(bp.clone(), 100.0).unwrap();
+        assert!((s.mean() - 100.0 * bp.mean()).abs() / s.mean() < 1e-12);
+        assert!((s.raw_moment(2) - 1e4 * bp.raw_moment(2)).abs() / s.raw_moment(2) < 1e-12);
+        assert!((s.raw_moment(-1) - bp.raw_moment(-1) / 100.0).abs() < 1e-12);
+        // scv is scale-free
+        assert!((s.scv() - bp.scv()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_and_quantile_consistent() {
+        let bp = BoundedPareto::new(1.0, 1e4, 1.2).unwrap();
+        let s = Scaled::new(bp.clone(), 7.0).unwrap();
+        for &p in &[0.1, 0.5, 0.9] {
+            let x = s.quantile(p);
+            assert!((s.cdf(x) - p).abs() < 1e-10);
+            assert!((x - 7.0 * bp.quantile(p)).abs() / x < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_moments_map_through_the_scale() {
+        let bp = BoundedPareto::new(1.0, 1e4, 1.2).unwrap();
+        let s = Scaled::new(bp.clone(), 10.0).unwrap();
+        let scaled = s.partial_moment(1, 50.0, 5_000.0);
+        let raw = 10.0 * bp.partial_moment(1, 5.0, 500.0);
+        assert!((scaled - raw).abs() / raw < 1e-12);
+    }
+
+    #[test]
+    fn samples_land_in_scaled_support() {
+        let bp = BoundedPareto::new(2.0, 20.0, 1.0).unwrap();
+        let s = Scaled::new(bp, 3.0).unwrap();
+        let mut rng = Rng64::seed_from(1);
+        for _ in 0..1000 {
+            let x = s.sample(&mut rng);
+            assert!((6.0..=60.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The continuous uniform distribution on `[a, b]`.
+
+use crate::rng::Rng64;
+use crate::traits::{DistError, Distribution};
+
+/// Uniform distribution on `[lo, hi]`, `0 ≤ lo < hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution on `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !(lo >= 0.0) || !lo.is_finite() {
+            return Err(DistError::new(format!("lo = {lo} must be nonnegative and finite")));
+        }
+        if !(hi > lo) || !hi.is_finite() {
+            return Err(DistError::new(format!("hi = {hi} must exceed lo = {lo} and be finite")));
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        rng.uniform_in(self.lo, self.hi)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile probability {p} not in [0,1]");
+        self.lo + p * (self.hi - self.lo)
+    }
+
+    fn raw_moment(&self, k: i32) -> f64 {
+        self.partial_moment(k, self.lo, self.hi)
+    }
+
+    fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
+        let a = a.max(self.lo);
+        let b = b.min(self.hi);
+        if b <= a {
+            return 0.0;
+        }
+        let w = self.hi - self.lo;
+        if k == -1 {
+            if a <= 0.0 {
+                return f64::INFINITY;
+            }
+            return (b / a).ln() / w;
+        }
+        // ∫ x^k / w dx = (b^{k+1} − a^{k+1}) / ((k+1) w)
+        let e = k + 1;
+        if e == 0 {
+            // k == -1 handled above; unreachable, kept for completeness
+            (b / a).ln() / w
+        } else {
+            (b.powi(e) - a.powi(e)) / (f64::from(e) * w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Uniform::new(-1.0, 2.0).is_err());
+        assert!(Uniform::new(2.0, 2.0).is_err());
+        assert!(Uniform::new(3.0, 2.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn closed_form_moments() {
+        let d = Uniform::new(1.0, 3.0).unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((d.raw_moment(2) - 26.0 / 6.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0 / 12.0).abs() < 1e-12);
+        assert!((d.raw_moment(-1) - 3f64.ln() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_moment_diverges_at_zero() {
+        let d = Uniform::new(0.0, 1.0).unwrap();
+        assert_eq!(d.raw_moment(-1), f64::INFINITY);
+    }
+
+    #[test]
+    fn partial_moment_additivity() {
+        let d = Uniform::new(2.0, 10.0).unwrap();
+        for k in [-1i32, 0, 1, 2, 3] {
+            let whole = d.partial_moment(k, 2.0, 10.0);
+            let split = d.partial_moment(k, 2.0, 5.0) + d.partial_moment(k, 5.0, 10.0);
+            assert!((whole - split).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sampling_in_range_and_uniformity() {
+        let d = Uniform::new(5.0, 6.0).unwrap();
+        let mut rng = Rng64::seed_from(123);
+        let n = 100_000;
+        let mut below_half = 0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!((5.0..6.0).contains(&x));
+            if x < 5.5 {
+                below_half += 1;
+            }
+        }
+        let frac = below_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip() {
+        let d = Uniform::new(0.0, 4.0).unwrap();
+        for &p in &[0.0, 0.25, 0.5, 1.0] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Calibrating Bounded-Pareto workloads to published summary statistics.
+//!
+//! The PSC C90/J90 and CTC SP2 traces the paper uses are not
+//! redistributable, but the paper publishes exactly the statistics that
+//! drive policy performance (Table 1 and §3.3/§4.3): the mean service
+//! requirement, the squared coefficient of variation `C²`, the min/max,
+//! and the tail-load property ("the biggest 1.3 % of jobs make up half the
+//! total load"). This module inverts those statistics into Bounded-Pareto
+//! parameters so [`crate::BoundedPareto`] reproduces them.
+//!
+//! Calibration works in two nested solves: for a candidate tail index `α`
+//! we choose the lower bound `k` so the mean matches (the mean is strictly
+//! increasing in `k`), then adjust `α` so the second-order target (either
+//! `C²` or the tail-load fraction) matches — both are monotone in `α`.
+
+use crate::distributions::{BoundedPareto, Mixture};
+use crate::numeric;
+use crate::traits::{DistError, Distribution};
+
+/// Calibration targets for a Bounded Pareto job-size distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedParetoTargets {
+    /// target mean service requirement
+    pub mean: f64,
+    /// target squared coefficient of variation
+    pub scv: f64,
+    /// fixed upper bound of the support (e.g. the longest job in the
+    /// trace, or a runtime cap like CTC's 12 hours)
+    pub max: f64,
+    /// lower limit allowed for the fitted minimum job size
+    pub min_floor: f64,
+}
+
+/// Result of a calibration: the distribution plus the achieved statistics.
+#[derive(Debug, Clone)]
+pub struct FittedWorkload {
+    /// the calibrated distribution
+    pub dist: BoundedPareto,
+    /// achieved mean
+    pub mean: f64,
+    /// achieved squared coefficient of variation
+    pub scv: f64,
+    /// fraction of load carried by the largest 1.3 % of jobs (the paper's
+    /// §4.3 heavy-tail indicator)
+    pub top_1_3pct_load: f64,
+}
+
+/// Solve for the lower bound `k` that gives the target mean at fixed
+/// `(alpha, max)`. Returns `None` if no `k` in `[min_floor, max)` works.
+fn solve_k_for_mean(alpha: f64, max: f64, mean: f64, min_floor: f64) -> Option<f64> {
+    let mean_at = |k: f64| {
+        BoundedPareto::new(k, max, alpha)
+            .map(|d| d.mean())
+            .unwrap_or(f64::NAN)
+    };
+    let lo = min_floor;
+    let hi = max * (1.0 - 1e-9);
+    let mlo = mean_at(lo);
+    let mhi = mean_at(hi);
+    if !(mlo <= mean && mean <= mhi) {
+        return None;
+    }
+    numeric::bisect(|k| mean_at(k) - mean, lo, hi, 1e-12 * max).ok()
+}
+
+/// Calibrate a Bounded Pareto to `(mean, scv)` with a fixed upper bound.
+///
+/// # Errors
+/// Returns an error when the target combination is infeasible — e.g. an
+/// `scv` larger than any `α > 0` can produce under the given `max`.
+pub fn fit_bounded_pareto(targets: BoundedParetoTargets) -> Result<FittedWorkload, DistError> {
+    let BoundedParetoTargets {
+        mean,
+        scv,
+        max,
+        min_floor,
+    } = targets;
+    if !(mean > 0.0) || !(scv > 0.0) || !(max > mean) || !(min_floor > 0.0) {
+        return Err(DistError::new(format!(
+            "infeasible targets: mean={mean}, scv={scv}, max={max}, min_floor={min_floor}"
+        )));
+    }
+    // scv(alpha) with mean pinned is strictly decreasing in alpha.
+    let scv_at = |alpha: f64| -> f64 {
+        match solve_k_for_mean(alpha, max, mean, min_floor) {
+            Some(k) => BoundedPareto::new(k, max, alpha)
+                .map(|d| d.scv())
+                .unwrap_or(f64::NAN),
+            None => f64::NAN,
+        }
+    };
+    // Find a bracket [a_lo, a_hi] with scv(a_lo) > target > scv(a_hi).
+    let mut a_lo = f64::NAN;
+    let mut a_hi = f64::NAN;
+    let mut prev: Option<(f64, f64)> = None;
+    let mut alpha = 0.05;
+    while alpha < 30.0 {
+        let s = scv_at(alpha);
+        if s.is_finite() {
+            if s >= scv {
+                if let Some((pa, ps)) = prev {
+                    if ps < scv {
+                        // shouldn't happen (decreasing), but guard anyway
+                        a_lo = alpha;
+                        a_hi = pa;
+                        let _ = ps;
+                        break;
+                    }
+                }
+                a_lo = alpha;
+            } else {
+                if a_lo.is_finite() {
+                    a_hi = alpha;
+                    break;
+                }
+                // even the smallest alpha can't reach the target scv
+                return Err(DistError::new(format!(
+                    "target scv {scv} unreachable with max = {max} (best ≈ {s})"
+                )));
+            }
+            prev = Some((alpha, s));
+        }
+        alpha *= 1.25;
+    }
+    if !a_lo.is_finite() || !a_hi.is_finite() {
+        return Err(DistError::new(format!(
+            "could not bracket tail index for scv {scv} (max = {max})"
+        )));
+    }
+    let alpha = numeric::bisect(|a| scv_at(a) - scv, a_lo, a_hi, 1e-10)
+        .map_err(|e| DistError::new(format!("alpha solve failed: {e}")))?;
+    let k = solve_k_for_mean(alpha, max, mean, min_floor)
+        .ok_or_else(|| DistError::new("k solve failed at fitted alpha"))?;
+    let dist = BoundedPareto::new(k, max, alpha)?;
+    let x_star = dist.quantile(1.0 - 0.013);
+    let top = dist.tail_load_fraction(x_star);
+    Ok(FittedWorkload {
+        mean: dist.mean(),
+        scv: dist.scv(),
+        top_1_3pct_load: top,
+        dist,
+    })
+}
+
+/// Calibration targets for the **body–tail** job-size model.
+///
+/// A real supercomputing trace has four properties no single Bounded
+/// Pareto can reproduce at once: a tiny minimum job (~1 s), a mean in the
+/// thousands of seconds, a moderate sample `C²` (e.g. 43), *and* extreme
+/// tail-load concentration (the biggest ~1.3 % of jobs carry half the
+/// load). The body–tail model — a Bounded-Pareto *body* on
+/// `[min, split]` holding `1 − tail_jobs` of the jobs and a
+/// Bounded-Pareto *tail* on `[split, max]` holding the rest — has enough
+/// freedom: the component weights pin the job split, the component means
+/// pin the load split and overall mean, and the split point is solved so
+/// the overall `C²` matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyTailTargets {
+    /// overall mean job size
+    pub mean: f64,
+    /// overall squared coefficient of variation
+    pub scv: f64,
+    /// smallest job size
+    pub min: f64,
+    /// largest job size
+    pub max: f64,
+    /// fraction of *jobs* in the tail component (e.g. 0.013)
+    pub tail_jobs: f64,
+    /// fraction of *load* carried by the tail (e.g. 0.5)
+    pub tail_load: f64,
+}
+
+/// Solve for a Bounded Pareto on `[lo, hi]` with the given mean, by
+/// bisection on the tail index.
+fn bp_with_mean(lo: f64, hi: f64, mean: f64) -> Option<BoundedPareto> {
+    if !(lo < mean && mean < hi) {
+        return None;
+    }
+    let mean_at = |alpha: f64| {
+        BoundedPareto::new(lo, hi, alpha)
+            .map(|d| d.mean())
+            .unwrap_or(f64::NAN)
+    };
+    // mean is strictly decreasing in alpha
+    let (mut a_lo, mut a_hi) = (1e-4, 80.0);
+    if mean_at(a_lo) < mean || mean_at(a_hi) > mean {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (a_lo + a_hi);
+        if mean_at(mid) > mean {
+            a_lo = mid;
+        } else {
+            a_hi = mid;
+        }
+    }
+    BoundedPareto::new(lo, hi, 0.5 * (a_lo + a_hi)).ok()
+}
+
+/// Calibrate a body–tail [`Mixture`] to the targets.
+///
+/// Construction: the tail holds `tail_jobs` of the jobs with component
+/// mean `tail_load·mean/tail_jobs`; the body holds the rest with mean
+/// `(1−tail_load)·mean/(1−tail_jobs)`. For any split point both
+/// components are Bounded Paretos solved to those means; the split is
+/// then bisected so the mixture's `C²` hits the target.
+pub fn fit_body_tail(t: BodyTailTargets) -> Result<Mixture, DistError> {
+    let BodyTailTargets {
+        mean,
+        scv,
+        min,
+        max,
+        tail_jobs,
+        tail_load,
+    } = t;
+    if !(min > 0.0 && max > min && mean > min && mean < max) {
+        return Err(DistError::new(format!(
+            "inconsistent support/mean: min={min}, mean={mean}, max={max}"
+        )));
+    }
+    if !(tail_jobs > 0.0 && tail_jobs < 1.0 && tail_load > 0.0 && tail_load < 1.0) {
+        return Err(DistError::new("tail fractions must be in (0, 1)"));
+    }
+    if tail_load < tail_jobs {
+        return Err(DistError::new(
+            "tail must be load-heavier than job-heavy (tail_load >= tail_jobs)",
+        ));
+    }
+    let body_mean = (1.0 - tail_load) * mean / (1.0 - tail_jobs);
+    let tail_mean = tail_load * mean / tail_jobs;
+    if !(tail_mean < max) {
+        return Err(DistError::new(format!(
+            "implied tail mean {tail_mean} exceeds max {max}"
+        )));
+    }
+    let target_m2 = (1.0 + scv) * mean * mean;
+    // mixture second moment as a function of the split point
+    let m2_at = |split: f64| -> f64 {
+        let body = bp_with_mean(min, split, body_mean);
+        let tail = bp_with_mean(split, max, tail_mean);
+        match (body, tail) {
+            (Some(b), Some(t)) => {
+                (1.0 - tail_jobs) * b.raw_moment(2) + tail_jobs * t.raw_moment(2)
+            }
+            _ => f64::NAN,
+        }
+    };
+    // Feasible splits: body_mean < split and split < tail_mean. Scan for a
+    // bracket: m2 decreases as the split rises (tail gets tighter).
+    let lo_split = body_mean * (1.0 + 1e-6);
+    let hi_split = tail_mean * (1.0 - 1e-6);
+    if !(lo_split < hi_split) {
+        return Err(DistError::new("no feasible split point"));
+    }
+    let n = 400;
+    let mut bracket: Option<(f64, f64)> = None;
+    let mut prev: Option<(f64, f64)> = None;
+    for i in 0..=n {
+        let s = lo_split * (hi_split / lo_split).powf(i as f64 / n as f64);
+        let v = m2_at(s);
+        if !v.is_finite() {
+            continue;
+        }
+        if let Some((ps, pv)) = prev {
+            if (pv - target_m2) * (v - target_m2) <= 0.0 {
+                bracket = Some((ps, s));
+                break;
+            }
+        }
+        prev = Some((s, v));
+    }
+    let (mut s_lo, mut s_hi) = bracket.ok_or_else(|| {
+        DistError::new(format!(
+            "target C^2 = {scv} unreachable for these body/tail targets"
+        ))
+    })?;
+    let sign = (m2_at(s_lo) - target_m2).signum();
+    for _ in 0..100 {
+        let mid = 0.5 * (s_lo + s_hi);
+        if ((m2_at(mid) - target_m2).signum() - sign).abs() < 0.5 {
+            s_lo = mid;
+        } else {
+            s_hi = mid;
+        }
+    }
+    let split = 0.5 * (s_lo + s_hi);
+    let body = bp_with_mean(min, split, body_mean)
+        .ok_or_else(|| DistError::new("body solve failed at final split"))?;
+    let tail = bp_with_mean(split, max, tail_mean)
+        .ok_or_else(|| DistError::new("tail solve failed at final split"))?;
+    Mixture::new(vec![
+        (1.0 - tail_jobs, Box::new(body) as Box<dyn Distribution>),
+        (tail_jobs, Box::new(tail) as Box<dyn Distribution>),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_c90_like_targets() {
+        // Paper: C90 mean service requirement in the thousands of seconds,
+        // C² = 43, jobs up to ~2.5M seconds.
+        let fit = fit_bounded_pareto(BoundedParetoTargets {
+            mean: 4500.0,
+            scv: 43.0,
+            max: 2.5e6,
+            min_floor: 1.0,
+        })
+        .unwrap();
+        assert!((fit.mean - 4500.0).abs() / 4500.0 < 1e-6, "mean = {}", fit.mean);
+        assert!((fit.scv - 43.0).abs() / 43.0 < 1e-6, "scv = {}", fit.scv);
+        // heavy-tail indicator: top 1.3% of jobs carry a large share of load
+        assert!(
+            fit.top_1_3pct_load > 0.35,
+            "top 1.3% load = {}",
+            fit.top_1_3pct_load
+        );
+    }
+
+    #[test]
+    fn fits_low_variance_ctc_like_targets() {
+        // CTC: 12-hour cap → low C²
+        let fit = fit_bounded_pareto(BoundedParetoTargets {
+            mean: 2000.0,
+            scv: 4.0,
+            max: 43_200.0,
+            min_floor: 1.0,
+        })
+        .unwrap();
+        assert!((fit.mean - 2000.0).abs() / 2000.0 < 1e-6);
+        assert!((fit.scv - 4.0).abs() / 4.0 < 1e-6);
+        assert!(fit.top_1_3pct_load < 0.4);
+    }
+
+    #[test]
+    fn rejects_unreachable_scv() {
+        // With max barely above the mean, huge variance is impossible.
+        let res = fit_bounded_pareto(BoundedParetoTargets {
+            mean: 100.0,
+            scv: 1000.0,
+            max: 150.0,
+            min_floor: 1.0,
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn rejects_nonsense_targets() {
+        assert!(fit_bounded_pareto(BoundedParetoTargets {
+            mean: -1.0,
+            scv: 2.0,
+            max: 10.0,
+            min_floor: 1.0
+        })
+        .is_err());
+        assert!(fit_bounded_pareto(BoundedParetoTargets {
+            mean: 20.0,
+            scv: 2.0,
+            max: 10.0,
+            min_floor: 1.0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn fitted_support_respects_floor_and_max() {
+        let fit = fit_bounded_pareto(BoundedParetoTargets {
+            mean: 1000.0,
+            scv: 20.0,
+            max: 1.0e6,
+            min_floor: 0.5,
+        })
+        .unwrap();
+        let (lo, hi) = fit.dist.support();
+        assert!(lo >= 0.5);
+        assert!((hi - 1.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn higher_scv_means_heavier_tail() {
+        let light = fit_bounded_pareto(BoundedParetoTargets {
+            mean: 1000.0,
+            scv: 5.0,
+            max: 1.0e6,
+            min_floor: 0.01,
+        })
+        .unwrap();
+        let heavy = fit_bounded_pareto(BoundedParetoTargets {
+            mean: 1000.0,
+            scv: 60.0,
+            max: 1.0e6,
+            min_floor: 0.01,
+        })
+        .unwrap();
+        assert!(heavy.dist.alpha() < light.dist.alpha());
+        assert!(heavy.top_1_3pct_load > light.top_1_3pct_load);
+    }
+}
+
+#[cfg(test)]
+mod body_tail_tests {
+    use super::*;
+
+    fn c90_targets() -> BodyTailTargets {
+        BodyTailTargets {
+            mean: 4562.0,
+            scv: 43.0,
+            min: 1.0,
+            max: 2.22e6,
+            tail_jobs: 0.013,
+            tail_load: 0.5,
+        }
+    }
+
+    #[test]
+    fn c90_body_tail_matches_all_four_statistics() {
+        let m = fit_body_tail(c90_targets()).unwrap();
+        assert!((m.mean() - 4562.0).abs() / 4562.0 < 1e-4, "mean = {}", m.mean());
+        assert!((m.scv() - 43.0).abs() / 43.0 < 1e-3, "scv = {}", m.scv());
+        let (lo, hi) = m.support();
+        assert!((lo - 1.0).abs() < 1e-9);
+        assert!((hi - 2.22e6).abs() < 1.0);
+        // the defining property: top 1.3% of jobs carry half the load
+        let split = m.components()[1].support().0;
+        assert!((m.prob_in(split, hi) - 0.013).abs() < 1e-9);
+        assert!((m.tail_load_fraction(split) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn body_tail_has_tiny_jobs_with_large_inverse_moment() {
+        // mean slowdown weighting requires genuinely small jobs
+        let m = fit_body_tail(c90_targets()).unwrap();
+        assert!(m.raw_moment(-1) > 0.05, "E[1/X] = {}", m.raw_moment(-1));
+    }
+
+    #[test]
+    fn rejects_inconsistent_targets() {
+        let mut t = c90_targets();
+        t.tail_load = 0.001; // tail lighter than its job share
+        assert!(fit_body_tail(t).is_err());
+        let mut t = c90_targets();
+        t.max = 5000.0; // implied tail mean exceeds max
+        assert!(fit_body_tail(t).is_err());
+        let mut t = c90_targets();
+        t.min = -1.0;
+        assert!(fit_body_tail(t).is_err());
+    }
+
+    #[test]
+    fn ctc_like_low_variance_targets() {
+        // CTC's 12-hour cap compresses the distribution, so the load
+        // concentration must be milder for the targets to be mutually
+        // consistent (see the preset documentation in dses-workload).
+        let m = fit_body_tail(BodyTailTargets {
+            mean: 2900.0,
+            scv: 2.2,
+            min: 60.0,
+            max: 43_200.0,
+            tail_jobs: 0.25,
+            tail_load: 0.75,
+        })
+        .unwrap();
+        assert!((m.mean() - 2900.0).abs() / 2900.0 < 1e-4);
+        assert!((m.scv() - 2.2).abs() / 2.2 < 1e-3);
+    }
+
+    #[test]
+    fn sampled_statistics_match_analytic() {
+        let m = fit_body_tail(c90_targets()).unwrap();
+        let mut rng = crate::rng::Rng64::seed_from(3);
+        let mut om = crate::moments::OnlineMoments::new();
+        for _ in 0..200_000 {
+            om.push(m.sample(&mut rng));
+        }
+        assert!((om.mean() - 4562.0).abs() / 4562.0 < 0.05, "sample mean {}", om.mean());
+    }
+}

@@ -1,0 +1,216 @@
+//! Fixed-bin and logarithmic histograms.
+//!
+//! [`LogHistogram`] is what the fairness analysis uses: job sizes span six
+//! orders of magnitude, so the "slowdown as a function of job size" curves
+//! in the SITA-U-fair evaluation bin jobs by log-size.
+
+use crate::moments::OnlineMoments;
+
+/// A histogram with uniform bins over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total count, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of values below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values at or above the range end.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `(lo, hi)` edges of bin `i`.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+/// A histogram whose bins are uniform in `log10(x)`, with a per-bin
+/// [`OnlineMoments`] accumulator for an associated metric.
+///
+/// `record(size, slowdown)` bins by `size` and accumulates `slowdown`
+/// statistics inside the bin — exactly the "expected slowdown vs job size"
+/// fairness curve of the paper's §4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    log_lo: f64,
+    log_hi: f64,
+    bins: Vec<OnlineMoments>,
+}
+
+impl LogHistogram {
+    /// Create a log histogram over `[lo, hi)` (both > 0) with `bins` bins
+    /// uniform in log space.
+    ///
+    /// # Panics
+    /// Panics if `lo <= 0`, `hi <= lo`, or `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0, "log histogram needs positive lower bound");
+        assert!(hi > lo, "log histogram range must be non-empty");
+        assert!(bins > 0, "log histogram needs at least one bin");
+        Self {
+            log_lo: lo.log10(),
+            log_hi: hi.log10(),
+            bins: vec![OnlineMoments::new(); bins],
+        }
+    }
+
+    /// Record `value` into the bin of `key` (values outside the range are
+    /// clamped into the first/last bin — every job contributes to the
+    /// fairness curve).
+    pub fn record(&mut self, key: f64, value: f64) {
+        let idx = self.bin_index(key);
+        self.bins[idx].push(value);
+    }
+
+    /// The bin index `key` falls into (clamped).
+    #[must_use]
+    pub fn bin_index(&self, key: f64) -> usize {
+        if key <= 0.0 {
+            return 0;
+        }
+        let pos = (key.log10() - self.log_lo) / (self.log_hi - self.log_lo);
+        let idx = (pos * self.bins.len() as f64).floor();
+        (idx.max(0.0) as usize).min(self.bins.len() - 1)
+    }
+
+    /// The geometric midpoint of bin `i`.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.log_hi - self.log_lo) / self.bins.len() as f64;
+        10f64.powf(self.log_lo + w * (i as f64 + 0.5))
+    }
+
+    /// Iterate `(bin_center, moments)` for non-empty bins.
+    pub fn populated_bins(&self) -> impl Iterator<Item = (f64, &OnlineMoments)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.count() > 0)
+            .map(|(i, m)| (self.bin_center(i), m))
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(-1.0);
+        h.record(10.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn bin_edges_cover_range() {
+        let h = Histogram::new(2.0, 4.0, 4);
+        assert_eq!(h.bin_edges(0), (2.0, 2.5));
+        assert_eq!(h.bin_edges(3), (3.5, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn log_histogram_clamps_out_of_range() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        h.record(0.5, 1.0); // below → bin 0
+        h.record(1e6, 2.0); // above → last bin
+        assert_eq!(h.bins[0].count(), 1);
+        assert_eq!(h.bins[2].count(), 1);
+    }
+
+    #[test]
+    fn log_histogram_decade_bins() {
+        let h = LogHistogram::new(1.0, 1000.0, 3);
+        assert_eq!(h.bin_index(2.0), 0);
+        assert_eq!(h.bin_index(20.0), 1);
+        assert_eq!(h.bin_index(200.0), 2);
+        // centers are geometric midpoints of each decade
+        assert!((h.bin_center(0) - 10f64.powf(0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_histogram_accumulates_values() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2);
+        h.record(2.0, 10.0);
+        h.record(3.0, 20.0);
+        h.record(50.0, 5.0);
+        let bins: Vec<_> = h.populated_bins().collect();
+        assert_eq!(bins.len(), 2);
+        assert!((bins[0].1.mean() - 15.0).abs() < 1e-12);
+        assert!((bins[1].1.mean() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,302 @@
+//! Online (single-pass) moment accumulation.
+//!
+//! Simulation runs in this workspace can process tens of millions of jobs;
+//! we never buffer per-job values unless explicitly asked to. Instead,
+//! [`OnlineMoments`] accumulates mean and variance with Welford's
+//! numerically stable recurrence, plus raw second/third moments and
+//! min/max, in one pass and O(1) memory.
+
+/// A finalized set of sample moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// number of observations
+    pub count: u64,
+    /// sample mean
+    pub mean: f64,
+    /// population variance (divides by n)
+    pub variance: f64,
+    /// raw second moment `E[X²]`
+    pub raw2: f64,
+    /// raw third moment `E[X³]`
+    pub raw3: f64,
+    /// smallest observation
+    pub min: f64,
+    /// largest observation
+    pub max: f64,
+}
+
+impl Moments {
+    /// Squared coefficient of variation `C² = Var/mean²`.
+    #[must_use]
+    pub fn scv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.variance / (self.mean * self.mean)
+        }
+    }
+
+    /// Standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Welford-style online accumulator for moments.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64, // Σ (x − mean)²
+    raw2: f64,
+    raw3: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMoments {
+    /// Create an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            raw2: 0.0,
+            raw3: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        // raw moments: incremental mean of x^2, x^3
+        let nf = self.n as f64;
+        self.raw2 += (x * x - self.raw2) / nf;
+        self.raw3 += (x * x * x - self.raw3) / nf;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.raw2 = (self.raw2 * n1 + other.raw2 * n2) / n;
+        self.raw3 = (self.raw3 * n1 + other.raw3 * n2) / n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n += other.n;
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n; 0 when fewer than 2 samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance (divides by n − 1).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Raw second moment `E[X²]`.
+    #[must_use]
+    pub fn raw_moment2(&self) -> f64 {
+        self.raw2
+    }
+
+    /// Raw third moment `E[X³]`.
+    #[must_use]
+    pub fn raw_moment3(&self) -> f64 {
+        self.raw3
+    }
+
+    /// Squared coefficient of variation of the sample.
+    #[must_use]
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean, `s/√n`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.sample_variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Snapshot into a [`Moments`] value.
+    #[must_use]
+    pub fn finish(&self) -> Moments {
+        Moments {
+            count: self.n,
+            mean: self.mean(),
+            variance: self.variance(),
+            raw2: self.raw2,
+            raw3: self.raw3,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineMoments {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut om = OnlineMoments::new();
+        for x in iter {
+            om.push(x);
+        }
+        om
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_sane() {
+        let om = OnlineMoments::new();
+        assert_eq!(om.count(), 0);
+        assert_eq!(om.mean(), 0.0);
+        assert_eq!(om.variance(), 0.0);
+        assert_eq!(om.std_error(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let om: OnlineMoments = data.iter().copied().collect();
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let raw2 = data.iter().map(|x| x * x).sum::<f64>() / n;
+        assert!((om.mean() - mean).abs() < 1e-12);
+        assert!((om.variance() - var).abs() < 1e-12);
+        assert!((om.raw_moment2() - raw2).abs() < 1e-12);
+        assert_eq!(om.min(), 1.0);
+        assert_eq!(om.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0, 10.0];
+        let b_data = [4.0, 5.0, 0.5];
+        let mut merged: OnlineMoments = a_data.iter().copied().collect();
+        let b: OnlineMoments = b_data.iter().copied().collect();
+        merged.merge(&b);
+        let all: OnlineMoments = a_data.iter().chain(b_data.iter()).copied().collect();
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.variance() - all.variance()).abs() < 1e-12);
+        assert!((merged.raw_moment3() - all.raw_moment3()).abs() < 1e-12);
+        assert_eq!(merged.min(), all.min());
+        assert_eq!(merged.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a: OnlineMoments = [1.0, 2.0].iter().copied().collect();
+        let mut b = a;
+        b.merge(&OnlineMoments::new());
+        assert_eq!(a, b);
+        let mut c = OnlineMoments::new();
+        c.merge(&a);
+        assert_eq!(a.mean(), c.mean());
+        assert_eq!(a.count(), c.count());
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // classic Welford stress: large mean, tiny variance
+        let mut om = OnlineMoments::new();
+        for i in 0..1000 {
+            om.push(1.0e9 + (i % 2) as f64);
+        }
+        assert!((om.variance() - 0.25).abs() < 1e-6, "var = {}", om.variance());
+    }
+
+    #[test]
+    fn finish_snapshot_consistency() {
+        let om: OnlineMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+        let m = om.finish();
+        assert_eq!(m.count, 8);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        assert!((m.variance - 4.0).abs() < 1e-12);
+        assert!((m.std_dev() - 2.0).abs() < 1e-12);
+        assert!((m.scv() - 4.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scv_of_constant_sample_is_zero() {
+        let om: OnlineMoments = std::iter::repeat_n(7.0, 100).collect();
+        assert!(om.scv().abs() < 1e-15);
+    }
+}

@@ -1,0 +1,167 @@
+//! The M/M/h queue and the Erlang formulas.
+//!
+//! Least-Work-Left is equivalent to Central-Queue (M/G/h); the paper's
+//! §3.3 analysis approximates the M/G/h through the M/M/h, so we need
+//! Erlang-C here. Computed with the standard numerically stable
+//! recurrences (no factorials).
+
+/// Erlang-B blocking probability for `h` servers at offered load `a = λ/μ`.
+///
+/// Stable recurrence: `B(0) = 1`, `B(k) = a·B(k−1) / (k + a·B(k−1))`.
+#[must_use]
+pub fn erlang_b(h: usize, a: f64) -> f64 {
+    assert!(h > 0, "need at least one server");
+    assert!(a >= 0.0 && a.is_finite(), "offered load must be nonnegative");
+    let mut b = 1.0;
+    for k in 1..=h {
+        b = a * b / (k as f64 + a * b);
+    }
+    b
+}
+
+/// Erlang-C probability that an arrival must wait, for `h` servers at
+/// offered load `a = λ/μ` (requires `a < h` for stability).
+#[must_use]
+pub fn erlang_c(h: usize, a: f64) -> f64 {
+    assert!(h > 0, "need at least one server");
+    if a >= h as f64 {
+        return 1.0;
+    }
+    let b = erlang_b(h, a);
+    let rho = a / h as f64;
+    b / (1.0 - rho + rho * b)
+}
+
+/// An analysed M/M/h queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mmh {
+    /// arrival rate
+    pub lambda: f64,
+    /// per-server service rate
+    pub mu: f64,
+    /// number of servers
+    pub servers: usize,
+}
+
+impl Mmh {
+    /// Create the queue.
+    #[must_use]
+    pub fn new(lambda: f64, mu: f64, servers: usize) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        assert!(servers > 0, "need at least one server");
+        Self {
+            lambda,
+            mu,
+            servers,
+        }
+    }
+
+    /// Offered load `a = λ/μ` (in Erlangs).
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Per-server utilisation `ρ = a/h`.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.offered_load() / self.servers as f64
+    }
+
+    /// Probability an arrival waits (Erlang-C).
+    #[must_use]
+    pub fn wait_probability(&self) -> f64 {
+        erlang_c(self.servers, self.offered_load())
+    }
+
+    /// Mean number of jobs *waiting* (excluding in service).
+    #[must_use]
+    pub fn mean_queue_len(&self) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            return f64::INFINITY;
+        }
+        self.wait_probability() * rho / (1.0 - rho)
+    }
+
+    /// Mean waiting time (Little's law on the waiting room).
+    #[must_use]
+    pub fn mean_waiting(&self) -> f64 {
+        self.mean_queue_len() / self.lambda
+    }
+
+    /// Mean response time.
+    #[must_use]
+    pub fn mean_response(&self) -> f64 {
+        self.mean_waiting() + 1.0 / self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_single_server() {
+        // B(1, a) = a/(1+a)
+        for &a in &[0.1, 0.5, 1.0, 5.0] {
+            assert!((erlang_b(1, a) - a / (1.0 + a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_b_reference_values() {
+        // classic table value: B(10, 5) ≈ 0.018385
+        let b = erlang_b(10, 5.0);
+        assert!((b - 0.018385).abs() < 1e-5, "B(10,5) = {b}");
+    }
+
+    #[test]
+    fn erlang_c_exceeds_erlang_b() {
+        // queueing (C) always ≥ blocking (B) probability for same load
+        for &(h, a) in &[(2usize, 1.0), (4, 3.0), (8, 6.0)] {
+            assert!(erlang_c(h, a) >= erlang_b(h, a));
+        }
+    }
+
+    #[test]
+    fn erlang_c_saturated_is_one() {
+        assert_eq!(erlang_c(2, 2.0), 1.0);
+        assert_eq!(erlang_c(2, 3.0), 1.0);
+    }
+
+    #[test]
+    fn mm1_special_case() {
+        // M/M/1: C = rho, E[Q] = rho²/(1−rho), E[W] = rho/(mu−lambda)
+        let q = Mmh::new(0.5, 1.0, 1);
+        assert!((q.wait_probability() - 0.5).abs() < 1e-12);
+        assert!((q.mean_queue_len() - 0.5).abs() < 1e-12);
+        assert!((q.mean_waiting() - 1.0).abs() < 1e-12);
+        assert!((q.mean_response() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm2_closed_form() {
+        // M/M/2 with rho = a/2: C(2,a) = 2rho²/(1+rho) for a=2rho
+        let lambda = 1.5;
+        let mu = 1.0;
+        let q = Mmh::new(lambda, mu, 2);
+        let rho: f64 = 0.75;
+        let c = 2.0 * rho * rho / (1.0 + rho);
+        assert!((q.wait_probability() - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooling_beats_split_queues() {
+        // classic result: one fast pool of 4 servers beats M/M/1 at same rho
+        let pooled = Mmh::new(3.2, 1.0, 4);
+        let single = Mmh::new(0.8, 1.0, 1);
+        assert!(pooled.mean_waiting() < single.mean_waiting());
+    }
+
+    #[test]
+    fn unstable_reports_infinity() {
+        let q = Mmh::new(4.0, 1.0, 2);
+        assert_eq!(q.mean_queue_len(), f64::INFINITY);
+    }
+}

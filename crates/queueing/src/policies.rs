@@ -1,0 +1,308 @@
+//! One-call analytic predictions for every policy in the paper —
+//! the machinery behind Figures 8 and 9.
+//!
+//! | policy          | model                                           |
+//! |-----------------|-------------------------------------------------|
+//! | Random          | Bernoulli split ⇒ `h` independent M/G/1 at `λ/h`|
+//! | Round-Robin     | `E_h/G/1` per host (Kingman with `C²ₐ = 1/h`)   |
+//! | Least-Work-Left | M/G/h via the Nozaki–Ross approximation         |
+//! | SITA-E          | per-host M/G/1 on equal-load size intervals     |
+//! | SITA-U-opt      | 2-host SITA at the slowdown-minimising cutoff   |
+//! | SITA-U-fair     | 2-host SITA at the fairness cutoff              |
+
+use crate::cutoff::{
+    sita_e_cutoffs, sita_u_fair_cutoff, sita_u_fair_cutoffs_multi, sita_u_opt_cutoff,
+    sita_u_opt_cutoffs_multi, CutoffError,
+};
+use crate::gg1::gg1_metrics;
+use crate::mg1::{Mg1, ServiceMoments};
+use crate::mgh::mgh_metrics;
+use crate::sita::SitaAnalysis;
+use dses_dist::Distribution;
+
+/// The policies the analysis covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalyticPolicy {
+    /// Bernoulli splitting to each host with probability 1/h.
+    Random,
+    /// Cyclic assignment (job i → host i mod h).
+    RoundRobin,
+    /// Send to the host with least remaining work (≡ Central-Queue/M/G/h).
+    LeastWorkLeft,
+    /// Size-interval assignment with equal per-host load.
+    SitaE,
+    /// Size-interval assignment, cutoff minimising mean slowdown
+    /// (2 hosts).
+    SitaUOpt,
+    /// Size-interval assignment, cutoff equalising short/long slowdown
+    /// (2 hosts).
+    SitaUFair,
+}
+
+impl AnalyticPolicy {
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalyticPolicy::Random => "Random",
+            AnalyticPolicy::RoundRobin => "Round-Robin",
+            AnalyticPolicy::LeastWorkLeft => "Least-Work-Left",
+            AnalyticPolicy::SitaE => "SITA-E",
+            AnalyticPolicy::SitaUOpt => "SITA-U-opt",
+            AnalyticPolicy::SitaUFair => "SITA-U-fair",
+        }
+    }
+}
+
+/// Analytic per-job metrics for one policy at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticMetrics {
+    /// which policy
+    pub policy: AnalyticPolicy,
+    /// system load `ρ = λ·E[X]/h`
+    pub system_load: f64,
+    /// mean slowdown (response convention, `≥ 1`)
+    pub mean_slowdown: f64,
+    /// mean queueing slowdown `E[W/X]` (the paper's Theorem-1 quantity)
+    pub mean_queueing_slowdown: f64,
+    /// mean waiting time
+    pub mean_waiting: f64,
+    /// mean response time
+    pub mean_response: f64,
+    /// variance of slowdown, where the model supports it
+    pub slowdown_variance: Option<f64>,
+    /// the SITA cutoff(s) used, if any
+    pub cutoffs: Option<Vec<f64>>,
+    /// fraction of total load on host 0 (the short-job host), if SITA
+    pub load_fraction_host0: Option<f64>,
+}
+
+/// Analyse `policy` for job sizes `dist`, total arrival rate `lambda`,
+/// and `hosts` hosts.
+///
+/// # Errors
+/// Returns a [`CutoffError`] when no stabilising SITA cutoff exists, and
+/// for the SITA-U policies when `hosts != 2` (the paper's §5 handles more
+/// hosts with the grouped *simulation* policy; there is no closed-form
+/// h-host SITA-U analysis).
+pub fn analyze_policy<D: Distribution + ?Sized>(
+    policy: AnalyticPolicy,
+    dist: &D,
+    lambda: f64,
+    hosts: usize,
+) -> Result<AnalyticMetrics, CutoffError> {
+    assert!(hosts > 0, "need at least one host");
+    assert!(lambda > 0.0, "lambda must be positive");
+    let service = ServiceMoments::of(dist);
+    let system_load = lambda * service.m1 / hosts as f64;
+    let metrics = match policy {
+        AnalyticPolicy::Random => {
+            let q = Mg1::new(lambda / hosts as f64, service);
+            AnalyticMetrics {
+                policy,
+                system_load,
+                mean_slowdown: q.mean_slowdown(),
+                mean_queueing_slowdown: q.mean_queueing_slowdown(),
+                mean_waiting: q.mean_waiting(),
+                mean_response: q.mean_response(),
+                slowdown_variance: Some(q.slowdown_variance()),
+                cutoffs: None,
+                load_fraction_host0: None,
+            }
+        }
+        AnalyticPolicy::RoundRobin => {
+            let g = gg1_metrics(lambda / hosts as f64, 1.0 / hosts as f64, &service);
+            AnalyticMetrics {
+                policy,
+                system_load,
+                mean_slowdown: g.mean_slowdown,
+                mean_queueing_slowdown: g.mean_queueing_slowdown,
+                mean_waiting: g.mean_waiting,
+                mean_response: g.mean_response,
+                slowdown_variance: None,
+                cutoffs: None,
+                load_fraction_host0: None,
+            }
+        }
+        AnalyticPolicy::LeastWorkLeft => {
+            let m = mgh_metrics(lambda, hosts, &service);
+            AnalyticMetrics {
+                policy,
+                system_load,
+                mean_slowdown: m.mean_slowdown,
+                mean_queueing_slowdown: m.mean_queueing_slowdown,
+                mean_waiting: m.mean_waiting,
+                mean_response: m.mean_response,
+                slowdown_variance: None,
+                cutoffs: None,
+                load_fraction_host0: None,
+            }
+        }
+        AnalyticPolicy::SitaE => {
+            let cutoffs = sita_e_cutoffs(dist, hosts)?;
+            sita_metrics(policy, dist, lambda, system_load, cutoffs)
+        }
+        AnalyticPolicy::SitaUOpt => {
+            let cutoffs = if hosts == 2 {
+                vec![sita_u_opt_cutoff(dist, lambda)?]
+            } else {
+                sita_u_opt_cutoffs_multi(dist, lambda, hosts)?
+            };
+            sita_metrics(policy, dist, lambda, system_load, cutoffs)
+        }
+        AnalyticPolicy::SitaUFair => {
+            let cutoffs = if hosts == 2 {
+                vec![sita_u_fair_cutoff(dist, lambda)?]
+            } else {
+                sita_u_fair_cutoffs_multi(dist, lambda, hosts)?
+            };
+            sita_metrics(policy, dist, lambda, system_load, cutoffs)
+        }
+    };
+    Ok(metrics)
+}
+
+fn sita_metrics<D: Distribution + ?Sized>(
+    policy: AnalyticPolicy,
+    dist: &D,
+    lambda: f64,
+    system_load: f64,
+    cutoffs: Vec<f64>,
+) -> AnalyticMetrics {
+    let a = SitaAnalysis::analyze(dist, lambda, &cutoffs);
+    AnalyticMetrics {
+        policy,
+        system_load,
+        mean_slowdown: a.mean_slowdown,
+        mean_queueing_slowdown: a.mean_queueing_slowdown,
+        mean_waiting: a.mean_waiting,
+        mean_response: a.mean_response,
+        slowdown_variance: Some(a.slowdown_variance),
+        load_fraction_host0: Some(a.load_fraction(0)),
+        cutoffs: Some(cutoffs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dses_dist::prelude::*;
+
+    /// A C90-like body–tail workload (the regime the paper studies).
+    fn c90ish() -> Mixture {
+        dses_dist::fit::fit_body_tail(dses_dist::fit::BodyTailTargets {
+            mean: 4562.0,
+            scv: 43.0,
+            min: 60.0,
+            max: 2.22e6,
+            tail_jobs: 0.013,
+            tail_load: 0.5,
+        })
+        .unwrap()
+    }
+
+    fn at_load(policy: AnalyticPolicy, rho: f64) -> AnalyticMetrics {
+        let d = c90ish();
+        let lambda = 2.0 * rho / d.mean();
+        analyze_policy(policy, &d, lambda, 2).unwrap()
+    }
+
+    #[test]
+    fn paper_ordering_random_worst_sita_u_best() {
+        // Figure 8/9 shape: Random ≫ LWL ≳ SITA-E ≫ SITA-U at moderate load
+        for &rho in &[0.5, 0.7] {
+            let random = at_load(AnalyticPolicy::Random, rho).mean_queueing_slowdown;
+            let lwl = at_load(AnalyticPolicy::LeastWorkLeft, rho).mean_queueing_slowdown;
+            let sita_e = at_load(AnalyticPolicy::SitaE, rho).mean_queueing_slowdown;
+            let u_opt = at_load(AnalyticPolicy::SitaUOpt, rho).mean_queueing_slowdown;
+            assert!(random > lwl, "rho={rho}: random {random} vs lwl {lwl}");
+            assert!(lwl > sita_e, "rho={rho}: lwl {lwl} vs sita-e {sita_e}");
+            assert!(sita_e > u_opt, "rho={rho}: sita-e {sita_e} vs u-opt {u_opt}");
+        }
+    }
+
+    #[test]
+    fn round_robin_slightly_better_than_random() {
+        let rr = at_load(AnalyticPolicy::RoundRobin, 0.7);
+        let rand = at_load(AnalyticPolicy::Random, 0.7);
+        assert!(rr.mean_waiting < rand.mean_waiting);
+        // but same order of magnitude — both dominated by E[X²] (§3.3)
+        assert!(rr.mean_waiting > rand.mean_waiting / 4.0);
+    }
+
+    #[test]
+    fn sita_u_fair_between_e_and_opt() {
+        let e = at_load(AnalyticPolicy::SitaE, 0.7).mean_queueing_slowdown;
+        let fair = at_load(AnalyticPolicy::SitaUFair, 0.7).mean_queueing_slowdown;
+        let opt = at_load(AnalyticPolicy::SitaUOpt, 0.7).mean_queueing_slowdown;
+        assert!(opt <= fair * (1.0 + 1e-9));
+        assert!(fair < e, "fair {fair} vs E {e}");
+    }
+
+    #[test]
+    fn sita_u_load_fraction_below_half() {
+        let m = at_load(AnalyticPolicy::SitaUOpt, 0.7);
+        let f = m.load_fraction_host0.unwrap();
+        assert!(f < 0.5, "load fraction host0 = {f}");
+        let e = at_load(AnalyticPolicy::SitaE, 0.7);
+        assert!((e.load_fraction_host0.unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rule_of_thumb_roughly_holds() {
+        // Figure 5: load fraction to host 0 ≈ ρ/2
+        for &rho in &[0.3, 0.5, 0.7] {
+            let m = at_load(AnalyticPolicy::SitaUFair, rho);
+            let f = m.load_fraction_host0.unwrap();
+            assert!(
+                (f - rho / 2.0).abs() < 0.2,
+                "rho={rho}: fraction {f}, rule {}",
+                rho / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn sita_u_supports_many_hosts_via_multi_solvers() {
+        let d = c90ish();
+        let hosts = 4;
+        let lambda = 0.7 * hosts as f64 / d.mean();
+        let e = analyze_policy(AnalyticPolicy::SitaE, &d, lambda, hosts).unwrap();
+        let opt = analyze_policy(AnalyticPolicy::SitaUOpt, &d, lambda, hosts).unwrap();
+        let fair = analyze_policy(AnalyticPolicy::SitaUFair, &d, lambda, hosts).unwrap();
+        assert!(opt.mean_queueing_slowdown < e.mean_queueing_slowdown / 2.0);
+        assert!(fair.mean_queueing_slowdown < e.mean_queueing_slowdown);
+        assert_eq!(opt.cutoffs.as_ref().unwrap().len(), hosts - 1);
+    }
+
+    #[test]
+    fn variance_gap_between_random_and_sita() {
+        // Figure 2 bottom: orders of magnitude in variance of slowdown
+        let rand = at_load(AnalyticPolicy::Random, 0.7).slowdown_variance.unwrap();
+        let sita = at_load(AnalyticPolicy::SitaUFair, 0.7).slowdown_variance.unwrap();
+        assert!(rand > 100.0 * sita, "random var {rand} vs sita var {sita}");
+    }
+
+    #[test]
+    fn system_load_reported_correctly() {
+        let m = at_load(AnalyticPolicy::Random, 0.42);
+        assert!((m.system_load - 0.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_workload_flips_the_ranking() {
+        // under exponential job sizes (C² = 1) pooling wins: LWL beats
+        // SITA-E — the paper's §1.3 history ("under exponential service
+        // Least-Work-Left is best")
+        let d = Exponential::with_mean(1.0).unwrap();
+        let lambda = 2.0 * 0.7;
+        let lwl = analyze_policy(AnalyticPolicy::LeastWorkLeft, &d, lambda, 2).unwrap();
+        let sita = analyze_policy(AnalyticPolicy::SitaE, &d, lambda, 2).unwrap();
+        assert!(
+            lwl.mean_waiting < sita.mean_waiting,
+            "lwl {} vs sita {}",
+            lwl.mean_waiting,
+            sita.mean_waiting
+        );
+    }
+}

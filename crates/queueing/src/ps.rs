@@ -1,0 +1,118 @@
+//! Processor-Sharing — the paper's footnote-1 fairness ideal.
+//!
+//! > "Processor-Sharing (which requires infinitely-many preemptions) is
+//! > ultimately fair in that every job experiences the same expected
+//! > slowdown."
+//!
+//! For an M/G/1-PS queue the classical insensitivity result gives
+//! `E[T | X = x] = x / (1 − ρ)` for *every* service distribution — so
+//! the expected slowdown is exactly `1/(1 − ρ)` for every job size. PS
+//! is unattainable in the paper's run-to-completion model (memory makes
+//! preemption prohibitive, §1.1), which is what makes SITA-U-fair
+//! interesting: it approximates PS's fairness *without* preemption. This
+//! module provides the PS reference values so that comparison is a
+//! one-liner.
+
+use dses_dist::Distribution;
+
+/// PS metrics for an M/G/1-PS queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsMetrics {
+    /// utilisation
+    pub rho: f64,
+    /// expected slowdown of every job, `1/(1 − ρ)` (insensitive to the
+    /// service distribution)
+    pub mean_slowdown: f64,
+    /// per-job mean response time `E[X]/(1 − ρ)`
+    pub mean_response: f64,
+}
+
+/// Analyse an M/G/1-PS queue at arrival rate `lambda`.
+#[must_use]
+pub fn ps_metrics<D: Distribution + ?Sized>(dist: &D, lambda: f64) -> PsMetrics {
+    assert!(lambda > 0.0, "lambda must be positive");
+    let rho = lambda * dist.raw_moment(1);
+    if rho >= 1.0 {
+        return PsMetrics {
+            rho,
+            mean_slowdown: f64::INFINITY,
+            mean_response: f64::INFINITY,
+        };
+    }
+    PsMetrics {
+        rho,
+        mean_slowdown: 1.0 / (1.0 - rho),
+        mean_response: dist.raw_moment(1) / (1.0 - rho),
+    }
+}
+
+/// Expected response time of a size-`x` job under PS (linear in `x` — the
+/// defining fairness property).
+#[must_use]
+pub fn ps_response_at(rho: f64, x: f64) -> f64 {
+    assert!(x >= 0.0, "size must be nonnegative");
+    if rho >= 1.0 {
+        f64::INFINITY
+    } else {
+        x / (1.0 - rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dses_dist::prelude::*;
+
+    #[test]
+    fn slowdown_is_distribution_insensitive() {
+        // same rho, wildly different distributions → identical slowdown
+        let lambda_for = |d: &dyn Distribution| 0.7 / d.raw_moment(1);
+        let exp = Exponential::with_mean(5.0).unwrap();
+        let bp = BoundedPareto::new(1.0, 1e6, 1.1).unwrap();
+        let a = ps_metrics(&exp, lambda_for(&exp));
+        let b = ps_metrics(&bp, lambda_for(&bp));
+        assert!((a.mean_slowdown - b.mean_slowdown).abs() < 1e-9);
+        assert!((a.mean_slowdown - 1.0 / 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_linear_in_size() {
+        let r1 = ps_response_at(0.5, 10.0);
+        let r2 = ps_response_at(0.5, 20.0);
+        assert!((r2 / r1 - 2.0).abs() < 1e-12);
+        // slowdown identical at both sizes
+        assert!((r1 / 10.0 - r2 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_is_infinite() {
+        let d = Exponential::new(1.0).unwrap();
+        assert_eq!(ps_metrics(&d, 1.5).mean_slowdown, f64::INFINITY);
+        assert_eq!(ps_response_at(1.0, 5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn sita_u_fair_approaches_ps_fairness_without_preemption() {
+        // the point of the comparison: SITA-U-fair's short/long slowdowns
+        // are equal (like PS), though its absolute level differs
+        let d = dses_dist::fit::fit_body_tail(dses_dist::fit::BodyTailTargets {
+            mean: 4562.0,
+            scv: 43.0,
+            min: 60.0,
+            max: 2.22e6,
+            tail_jobs: 0.013,
+            tail_load: 0.5,
+        })
+        .unwrap();
+        let rho = 0.6;
+        let lambda = 2.0 * rho / d.mean();
+        let cutoff = crate::cutoff::sita_u_fair_cutoff(&d, lambda).unwrap();
+        let a = crate::sita::SitaAnalysis::analyze(&d, lambda, &[cutoff]);
+        let s_short = a.hosts[0].mean_queueing_slowdown;
+        let s_long = a.hosts[1].mean_queueing_slowdown;
+        assert!((s_short - s_long).abs() / s_long < 1e-2, "SITA-U-fair equalises");
+        // PS on one shared super-host of capacity 2 would give 1/(1−0.6)
+        let ps = 1.0 / (1.0 - rho);
+        assert!(ps.is_finite());
+    }
+}

@@ -1,0 +1,192 @@
+//! Non-preemptive Shortest-Job-First analysis (extension).
+//!
+//! §8's discussion: "to get good performance what we really need to do is
+//! favor short jobs (e.g., Shortest-Job-First)… however biasing may lead
+//! to starvation." This module makes the §8 trade quantitative with the
+//! classical M/G/1 non-preemptive-priority result specialised to
+//! continuous size priorities (Phipps 1956 / Conway–Maxwell–Miller):
+//!
+//! ```text
+//! E[W | X = x] = λ·E[X²]/2 ÷ ((1 − ρ(x⁻))(1 − ρ(x))),
+//! ρ(x) = λ·E[X·1{X ≤ x}],  ρ(x⁻) its strictly-smaller counterpart
+//! ```
+//!
+//! (run-to-completion: the job in service is never preempted, so the
+//! numerator keeps the *full* second moment). Integrating `E[W(x)]/x`
+//! against the size density gives mean slowdown; `E[W(x)]/x` itself *is*
+//! the analytic unfairness curve the `fairness_audit` example measures.
+
+use dses_dist::{numeric, Distribution};
+
+/// Mean waiting time of a size-`x` job in an M/G/1 queue served
+/// non-preemptively shortest-job-first (Phipps):
+/// `W(x) = W₀ / ((1 − ρ(x⁻))(1 − ρ(x)))` with `W₀ = λE[X²]/2`,
+/// `ρ(x) = λE[X·1{X ≤ x}]` and `ρ(x⁻)` the load of *strictly* smaller
+/// jobs (the two differ at atoms, where equal sizes serve FCFS).
+#[must_use]
+pub fn sjf_waiting_at<D: Distribution + ?Sized>(dist: &D, lambda: f64, x: f64) -> f64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    let w0 = lambda * dist.raw_moment(2) / 2.0;
+    let rho_le = lambda * dist.partial_moment(1, 0.0, x);
+    let rho_lt = lambda * dist.partial_moment(1, 0.0, x * (1.0 - 1e-12));
+    if rho_le >= 1.0 {
+        return f64::INFINITY;
+    }
+    w0 / ((1.0 - rho_lt) * (1.0 - rho_le))
+}
+
+/// Analytic SJF metrics for an M/G/1 (single host; for an h-host
+/// central-SJF bank the paper's Central-Queue equivalence does not carry
+/// over, so we expose the single-server core and let callers compose).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SjfMetrics {
+    /// utilisation
+    pub rho: f64,
+    /// per-job mean waiting time
+    pub mean_waiting: f64,
+    /// per-job mean queueing slowdown `E[W(X)/X]`
+    pub mean_queueing_slowdown: f64,
+    /// per-job mean slowdown `1 + E[W(X)/X]`
+    pub mean_slowdown: f64,
+}
+
+/// Analyse M/G/1 SJF at arrival rate `lambda`.
+///
+/// The expectations integrate in quantile space, so any
+/// [`Distribution`] works — including the heavy-tailed presets.
+#[must_use]
+pub fn sjf_metrics<D: Distribution + ?Sized>(dist: &D, lambda: f64) -> SjfMetrics {
+    let rho = lambda * dist.raw_moment(1);
+    if rho >= 1.0 {
+        return SjfMetrics {
+            rho,
+            mean_waiting: f64::INFINITY,
+            mean_queueing_slowdown: f64::INFINITY,
+            mean_slowdown: f64::INFINITY,
+        };
+    }
+    // E[g(X)] = ∫₀¹ g(Q(u)) du with tail refinement
+    let expect = |g: &dyn Fn(f64) -> f64| -> f64 {
+        let f = |u: f64| {
+            let x = dist.quantile(u);
+            if x.is_finite() && x > 0.0 {
+                g(x)
+            } else {
+                0.0
+            }
+        };
+        let split = 0.99;
+        let mut total = numeric::integrate(f, 0.0, split, 96);
+        let mut lo = split;
+        let mut gap = 1.0 - split;
+        for _ in 0..40 {
+            gap *= 0.5;
+            let hi = 1.0 - gap;
+            if hi <= lo || gap < 1e-13 {
+                break;
+            }
+            total += numeric::integrate(f, lo, hi, 8);
+            lo = hi;
+        }
+        total + numeric::integrate(f, lo, 1.0, 8)
+    };
+    let mean_waiting = expect(&|x| sjf_waiting_at(dist, lambda, x));
+    let mean_queueing_slowdown = expect(&|x| sjf_waiting_at(dist, lambda, x) / x);
+    SjfMetrics {
+        rho,
+        mean_waiting,
+        mean_queueing_slowdown,
+        mean_slowdown: 1.0 + mean_queueing_slowdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1::{Mg1, ServiceMoments};
+    use dses_dist::prelude::*;
+
+    #[test]
+    fn deterministic_sizes_make_sjf_equal_fcfs() {
+        // all jobs equal → priority order is arrival order
+        let d = Deterministic::new(1.0).unwrap();
+        let lambda = 0.7;
+        let sjf = sjf_metrics(&d, lambda);
+        let fcfs = Mg1::new(lambda, ServiceMoments::of(&d));
+        assert!(
+            (sjf.mean_waiting - fcfs.mean_waiting()).abs() / fcfs.mean_waiting() < 1e-6,
+            "sjf {} vs fcfs {}",
+            sjf.mean_waiting,
+            fcfs.mean_waiting()
+        );
+    }
+
+    #[test]
+    fn sjf_beats_fcfs_mean_waiting_under_variability() {
+        let d = HyperExponential::fit_mean_scv(1.0, 8.0).unwrap();
+        let lambda = 0.7;
+        let sjf = sjf_metrics(&d, lambda);
+        let fcfs = Mg1::new(lambda, ServiceMoments::of(&d));
+        assert!(
+            sjf.mean_waiting < fcfs.mean_waiting(),
+            "sjf {} vs fcfs {}",
+            sjf.mean_waiting,
+            fcfs.mean_waiting()
+        );
+    }
+
+    #[test]
+    fn waiting_grows_with_job_size() {
+        // the §8 unfairness, analytically: bigger jobs wait longer
+        let d = BoundedPareto::new(1.0, 1e5, 1.2).unwrap();
+        let lambda = 0.8 / d.mean();
+        let w_small = sjf_waiting_at(&d, lambda, 2.0);
+        let w_mid = sjf_waiting_at(&d, lambda, 100.0);
+        let w_big = sjf_waiting_at(&d, lambda, 5.0e4);
+        assert!(w_small < w_mid && w_mid < w_big, "{w_small} {w_mid} {w_big}");
+    }
+
+    #[test]
+    fn saturated_sizes_wait_forever_at_high_load() {
+        // as rho(x) → 1, the biggest jobs starve — §8's starvation risk
+        let d = BoundedPareto::new(1.0, 1e5, 1.2).unwrap();
+        let lambda = 0.95 / d.mean();
+        let (_, hi) = d.support();
+        let w_max = sjf_waiting_at(&d, lambda, hi);
+        let w_med = sjf_waiting_at(&d, lambda, d.quantile(0.5));
+        assert!(w_max > 100.0 * w_med, "max {w_max} vs median {w_med}");
+    }
+
+    #[test]
+    fn unstable_is_infinite() {
+        let d = Exponential::new(1.0).unwrap();
+        let m = sjf_metrics(&d, 1.2);
+        assert_eq!(m.mean_waiting, f64::INFINITY);
+    }
+
+    #[test]
+    fn analytic_sjf_matches_simulated_central_sjf_single_host() {
+        use dses_workload::WorkloadBuilder;
+        let d = HyperExponential::fit_mean_scv(1.0, 4.0).unwrap();
+        let lambda = 0.6;
+        let trace = WorkloadBuilder::new(d.clone())
+            .jobs(300_000)
+            .poisson_load(0.6, 1)
+            .seed(51)
+            .build();
+        use dses_sim::{EventEngine, MetricsConfig, QueueDiscipline};
+        let r = EventEngine::new(1, MetricsConfig {
+            warmup_jobs: 20_000,
+            ..MetricsConfig::default()
+        })
+        .run_central_queue(&trace, QueueDiscipline::Sjf);
+        let analytic = sjf_metrics(&d, lambda);
+        let rel = (r.waiting.mean - analytic.mean_waiting).abs() / analytic.mean_waiting;
+        assert!(
+            rel < 0.08,
+            "simulated {} vs analytic {}",
+            r.waiting.mean,
+            analytic.mean_waiting
+        );
+    }
+}

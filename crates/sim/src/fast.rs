@@ -1,0 +1,429 @@
+//! The fast exact simulator for dispatch-on-arrival policies.
+//!
+//! With FCFS run-to-completion hosts and immediate dispatch, a host is a
+//! G/G/1 queue whose waiting times obey the Lindley recursion: if
+//! `free_at` is the time the host drains everything already assigned,
+//! then a job arriving at `t` starts at `max(t, free_at)` and the new
+//! `free_at` is `start + size`. This gives an *exact* simulation — not an
+//! approximation — at O(log n) per job (a heap maintains in-system job
+//! counts for queue-length-aware policies such as Shortest-Queue).
+//!
+//! The event-driven engine in [`crate::event`] computes the identical
+//! schedule the slow way; `tests` in both modules and the integration
+//! suite assert exact agreement.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::{Collector, JobRecord, MetricsConfig, SimResult};
+use crate::state::{Dispatcher, HostView, SystemState};
+use dses_dist::Rng64;
+use dses_workload::Trace;
+
+/// An `f64` wrapper ordered by `total_cmp`, for use in heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct HostSim {
+    /// time at which all currently assigned work completes
+    free_at: f64,
+    /// host speed: a job of size `x` occupies the host for `x / speed`
+    speed: f64,
+    /// completion times of jobs still in the system (min-heap)
+    completions: BinaryHeap<Reverse<OrdF64>>,
+}
+
+impl HostSim {
+    fn new(speed: f64) -> Self {
+        Self {
+            free_at: 0.0,
+            speed,
+            completions: BinaryHeap::new(),
+        }
+    }
+
+    /// Remove completed jobs as of time `now` and return the view.
+    fn view(&mut self, now: f64) -> HostView {
+        while let Some(&Reverse(OrdF64(c))) = self.completions.peek() {
+            if c <= now {
+                self.completions.pop();
+            } else {
+                break;
+            }
+        }
+        HostView {
+            queue_len: self.completions.len(),
+            work_left: (self.free_at - now).max(0.0),
+        }
+    }
+
+    /// Assign a job arriving at `now` with the given size; returns
+    /// `(start, completion)`.
+    fn assign(&mut self, now: f64, size: f64) -> (f64, f64) {
+        let start = now.max(self.free_at);
+        let completion = start + size / self.speed;
+        self.free_at = completion;
+        self.completions.push(Reverse(OrdF64(completion)));
+        (start, completion)
+    }
+}
+
+/// Simulate `trace` on `hosts` identical FCFS hosts under `policy`.
+///
+/// `seed` drives any randomness inside the policy (e.g. Random's coin
+/// flips); the engine itself is deterministic.
+///
+/// ```
+/// use dses_sim::{simulate_dispatch, Dispatcher, MetricsConfig, SystemState};
+/// use dses_workload::{Job, Trace};
+/// use dses_dist::Rng64;
+///
+/// struct Lwl;
+/// impl Dispatcher for Lwl {
+///     fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+///         s.least_work()
+///     }
+/// }
+///
+/// let trace = Trace::new(vec![
+///     Job::new(0, 0.0, 5.0),
+///     Job::new(1, 1.0, 1.0),
+/// ]);
+/// let result = simulate_dispatch(&trace, 2, &mut Lwl, 0, MetricsConfig::default());
+/// assert_eq!(result.measured, 2);
+/// // the second job found the idle host: no waiting at all
+/// assert!((result.slowdown.mean - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn simulate_dispatch<P: Dispatcher + ?Sized>(
+    trace: &Trace,
+    hosts: usize,
+    policy: &mut P,
+    seed: u64,
+    cfg: MetricsConfig,
+) -> SimResult {
+    simulate_dispatch_speeds(trace, &vec![1.0; hosts], policy, seed, cfg)
+}
+
+/// Simulate `trace` on **heterogeneous** FCFS hosts: `speeds[i]` is host
+/// `i`'s service rate relative to the reference (a job of size `x` runs
+/// for `x / speeds[i]` there). Slowdown remains `response / size` — size
+/// is measured in reference-host seconds, so a job served faster than
+/// the reference can record a slowdown below 1.
+///
+/// An extension beyond the paper, whose architectural model fixes
+/// identical hosts (§1.1); the `ablation_hetero` exhibit explores how
+/// SITA's cutoffs interact with speed asymmetry.
+#[must_use]
+pub fn simulate_dispatch_speeds<P: Dispatcher + ?Sized>(
+    trace: &Trace,
+    speeds: &[f64],
+    policy: &mut P,
+    seed: u64,
+    cfg: MetricsConfig,
+) -> SimResult {
+    let hosts = speeds.len();
+    assert!(hosts > 0, "need at least one host");
+    assert!(
+        speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
+        "host speeds must be positive and finite"
+    );
+    policy.reset();
+    let mut rng = Rng64::seed_from(seed).stream(0xD15);
+    let mut host_sims: Vec<HostSim> = speeds.iter().map(|&s| HostSim::new(s)).collect();
+    let mut views: Vec<HostView> = vec![
+        HostView {
+            queue_len: 0,
+            work_left: 0.0
+        };
+        hosts
+    ];
+    let mut collector = Collector::new(hosts, cfg);
+    for job in trace.jobs() {
+        let now = job.arrival;
+        for (v, hs) in views.iter_mut().zip(host_sims.iter_mut()) {
+            *v = hs.view(now);
+        }
+        let state = SystemState { now, hosts: &views };
+        let target = policy.dispatch(job, &state, &mut rng);
+        assert!(
+            target < hosts,
+            "policy {} returned host {target} of {hosts}",
+            policy.name()
+        );
+        let (start, completion) = host_sims[target].assign(now, job.size);
+        collector.record(JobRecord {
+            id: job.id,
+            arrival: job.arrival,
+            size: job.size,
+            start,
+            completion,
+            host: target,
+        });
+    }
+    collector.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dses_workload::Job;
+
+    /// Send every job to host 0.
+    struct ToZero;
+    impl Dispatcher for ToZero {
+        fn dispatch(&mut self, _: &Job, _: &SystemState<'_>, _: &mut Rng64) -> usize {
+            0
+        }
+        fn name(&self) -> String {
+            "to-zero".into()
+        }
+    }
+
+    /// Always pick the least-work host (mini LWL for engine tests).
+    struct MiniLwl;
+    impl Dispatcher for MiniLwl {
+        fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+            s.least_work()
+        }
+    }
+
+    fn trace(jobs: &[(f64, f64)]) -> Trace {
+        Trace::new(
+            jobs.iter()
+                .enumerate()
+                .map(|(i, &(a, s))| Job::new(i as u64, a, s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_host_fcfs_hand_schedule() {
+        // arrivals (0, 10), (1, 5), (12, 2):
+        // job0: start 0, done 10; job1: start 10, done 15; job2: start 15, done 17
+        let t = trace(&[(0.0, 10.0), (1.0, 5.0), (12.0, 2.0)]);
+        let r = simulate_dispatch(&t, 1, &mut ToZero, 0, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        let recs = r.records.unwrap();
+        assert_eq!(recs[0].completion, 10.0);
+        assert_eq!(recs[1].start, 10.0);
+        assert_eq!(recs[1].completion, 15.0);
+        assert_eq!(recs[2].start, 15.0);
+        assert_eq!(recs[2].completion, 17.0);
+        // slowdowns: 1, 14/5, 5/2
+        assert!((r.slowdown.mean - (1.0 + 2.8 + 2.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_host_serves_immediately() {
+        let t = trace(&[(0.0, 5.0), (100.0, 1.0)]);
+        let r = simulate_dispatch(&t, 1, &mut ToZero, 0, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        let recs = r.records.unwrap();
+        assert_eq!(recs[1].start, 100.0);
+        assert_eq!(recs[1].slowdown(), 1.0);
+    }
+
+    #[test]
+    fn least_work_balances_two_hosts() {
+        // job0 (size 10) → host 0; job1 at t=1 sees work (9, 0) → host 1
+        let t = trace(&[(0.0, 10.0), (1.0, 2.0)]);
+        let r = simulate_dispatch(&t, 2, &mut MiniLwl, 0, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        let recs = r.records.unwrap();
+        assert_eq!(recs[0].host, 0);
+        assert_eq!(recs[1].host, 1);
+        assert_eq!(recs[1].start, 1.0);
+    }
+
+    #[test]
+    fn queue_len_view_expires_completed_jobs() {
+        // host 0 serves a size-1 job at t=0; at t=5 the queue must be empty
+        struct AssertingPolicy {
+            calls: usize,
+        }
+        impl Dispatcher for AssertingPolicy {
+            fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+                if self.calls == 1 {
+                    assert_eq!(s.hosts[0].queue_len, 0, "stale completion retained");
+                    assert_eq!(s.hosts[0].work_left, 0.0);
+                }
+                self.calls += 1;
+                0
+            }
+        }
+        let t = trace(&[(0.0, 1.0), (5.0, 1.0)]);
+        let _ = simulate_dispatch(&t, 1, &mut AssertingPolicy { calls: 0 }, 0, MetricsConfig::default());
+    }
+
+    #[test]
+    fn work_left_view_is_remaining_service() {
+        struct Check;
+        impl Dispatcher for Check {
+            fn dispatch(&mut self, job: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+                if job.id == 1 {
+                    // size-10 job started at 0; at t = 4, 6 seconds remain
+                    assert!((s.hosts[0].work_left - 6.0).abs() < 1e-12);
+                }
+                0
+            }
+        }
+        let t = trace(&[(0.0, 10.0), (4.0, 1.0)]);
+        let _ = simulate_dispatch(&t, 1, &mut Check, 0, MetricsConfig::default());
+    }
+
+    #[test]
+    fn work_conservation() {
+        let t = trace(&[(0.0, 3.0), (0.5, 4.0), (1.0, 5.0), (2.0, 1.0)]);
+        let r = simulate_dispatch(&t, 2, &mut MiniLwl, 0, MetricsConfig::default());
+        let total: f64 = r.per_host.iter().map(|h| h.work).sum();
+        assert!((total - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned host")]
+    fn out_of_range_dispatch_is_caught() {
+        struct Bad;
+        impl Dispatcher for Bad {
+            fn dispatch(&mut self, _: &Job, _: &SystemState<'_>, _: &mut Rng64) -> usize {
+                7
+            }
+        }
+        let t = trace(&[(0.0, 1.0)]);
+        let _ = simulate_dispatch(&t, 2, &mut Bad, 0, MetricsConfig::default());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        struct Coin;
+        impl Dispatcher for Coin {
+            fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, rng: &mut Rng64) -> usize {
+                rng.below(s.num_hosts() as u64) as usize
+            }
+        }
+        let t = trace(&[(0.0, 1.0), (0.1, 2.0), (0.2, 3.0), (0.3, 4.0)]);
+        let a = simulate_dispatch(&t, 2, &mut Coin, 5, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        let b = simulate_dispatch(&t, 2, &mut Coin, 5, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        assert_eq!(a.records.unwrap(), b.records.unwrap());
+    }
+}
+
+#[cfg(test)]
+mod speed_tests {
+    use super::*;
+    use crate::state::{Dispatcher, SystemState};
+    use dses_workload::{Job, Trace};
+
+    struct ToHost(usize);
+    impl Dispatcher for ToHost {
+        fn dispatch(&mut self, _: &Job, _: &SystemState<'_>, _: &mut Rng64) -> usize {
+            self.0
+        }
+    }
+
+    fn trace(jobs: &[(f64, f64)]) -> Trace {
+        Trace::new(
+            jobs.iter()
+                .enumerate()
+                .map(|(i, &(a, s))| Job::new(i as u64, a, s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fast_host_halves_service_time() {
+        let t = trace(&[(0.0, 10.0)]);
+        let r = simulate_dispatch_speeds(&t, &[2.0], &mut ToHost(0), 0, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        let rec = r.records.unwrap()[0];
+        assert_eq!(rec.completion, 5.0);
+        assert_eq!(rec.slowdown(), 0.5); // faster than the reference host
+    }
+
+    #[test]
+    fn slow_host_queues_longer() {
+        let t = trace(&[(0.0, 10.0), (1.0, 10.0)]);
+        let r = simulate_dispatch_speeds(&t, &[0.5], &mut ToHost(0), 0, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        let recs = r.records.unwrap();
+        assert_eq!(recs[0].completion, 20.0);
+        assert_eq!(recs[1].start, 20.0);
+        assert_eq!(recs[1].completion, 40.0);
+    }
+
+    #[test]
+    fn unit_speeds_match_the_homogeneous_engine() {
+        let t = trace(&[(0.0, 3.0), (0.5, 4.0), (1.0, 5.0), (2.0, 1.0)]);
+        struct MiniLwl;
+        impl Dispatcher for MiniLwl {
+            fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+                s.least_work()
+            }
+        }
+        let cfg = MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        };
+        let a = simulate_dispatch(&t, 2, &mut MiniLwl, 0, cfg);
+        let b = simulate_dispatch_speeds(&t, &[1.0, 1.0], &mut MiniLwl, 0, cfg);
+        assert_eq!(a.records.unwrap(), b.records.unwrap());
+    }
+
+    #[test]
+    fn lwl_prefers_the_fast_host_under_load() {
+        // both hosts busy; the fast host drains sooner, so LWL picks it
+        struct MiniLwl;
+        impl Dispatcher for MiniLwl {
+            fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+                s.least_work()
+            }
+        }
+        let t = trace(&[(0.0, 10.0), (0.0, 10.0), (1.0, 1.0)]);
+        let r = simulate_dispatch_speeds(&t, &[1.0, 4.0], &mut MiniLwl, 0, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        let recs = r.records.unwrap();
+        // job 0 -> host 0 (tie, lowest index); job 1 -> host 1;
+        // at t=1: host0 has 9s left, host1 has 10/4-1 = 1.5s left
+        let j2 = recs.iter().find(|r| r.id == 2).unwrap();
+        assert_eq!(j2.host, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_speed() {
+        let t = trace(&[(0.0, 1.0)]);
+        let _ = simulate_dispatch_speeds(&t, &[0.0], &mut ToHost(0), 0, MetricsConfig::default());
+    }
+}

@@ -1,0 +1,43 @@
+//! # dses-sim — the distributed-server simulation engine
+//!
+//! A discrete-event simulator of the architectural model in Schroeder &
+//! Harchol-Balter (HPDC 2000): `h` identical hosts, each running its own
+//! FCFS queue, jobs run-to-completion with exclusive use of a host, fed by
+//! a single arrival stream (paper §1.1/§2.2).
+//!
+//! Two execution engines, cross-validated against each other:
+//!
+//! * [`fast::simulate_dispatch`] — for **dispatch-on-arrival** policies
+//!   (every policy in the paper except Central-Queue). Each host's FCFS
+//!   queue satisfies the Lindley recursion, so per-job cost is O(log n)
+//!   (a heap pop for queue-length tracking) and tens of millions of jobs
+//!   simulate in seconds.
+//! * [`event::EventEngine`] — a general event-driven engine with an
+//!   explicit event queue and host state machines. It additionally
+//!   supports **queueing policies** (Central-Queue variants) where jobs
+//!   wait at the dispatcher and hosts pull work when they go idle.
+//!
+//! Policies plug in through the [`Dispatcher`] trait (immediate dispatch)
+//! or the [`QueueDiscipline`] enum (central queue). The policy
+//! implementations themselves live in `dses-core`.
+//!
+//! Metrics ([`metrics`]) follow the paper: per-job **slowdown**
+//! (response time / service requirement), response time, waiting time —
+//! means *and* variances — plus per-host load shares and the
+//! slowdown-vs-size fairness profile of §4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)`-style validation is intentional: it also rejects NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod event;
+pub mod fast;
+pub mod metrics;
+pub mod state;
+pub mod validate;
+
+pub use event::EventEngine;
+pub use fast::{simulate_dispatch, simulate_dispatch_speeds};
+pub use metrics::{HostStats, JobRecord, MetricsConfig, SimResult};
+pub use state::{Dispatcher, HostView, QueueDiscipline, SystemState};

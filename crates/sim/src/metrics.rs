@@ -1,0 +1,515 @@
+//! Per-job records and aggregated performance metrics.
+//!
+//! The paper's three performance goals (§1.2) are mean slowdown, variance
+//! of slowdown, and fairness (expected slowdown conditioned on job size);
+//! it also reports mean/variance of response time. [`SimResult`] carries
+//! all of them, plus the per-host load shares that Figure 5's
+//! "fraction of load on Host 1" series needs.
+
+use dses_dist::{LogHistogram, Moments, OnlineMoments, QuantileSet};
+
+/// The outcome of one job's passage through the system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// job id (arrival order)
+    pub id: u64,
+    /// arrival time at the dispatcher
+    pub arrival: f64,
+    /// service requirement
+    pub size: f64,
+    /// time service began
+    pub start: f64,
+    /// time service completed
+    pub completion: f64,
+    /// host that served the job
+    pub host: usize,
+}
+
+impl JobRecord {
+    /// Waiting time in queue: `start − arrival`.
+    #[must_use]
+    pub fn waiting(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// Response time (sojourn): `completion − arrival`.
+    #[must_use]
+    pub fn response(&self) -> f64 {
+        self.completion - self.arrival
+    }
+
+    /// Slowdown: response time / service requirement (≥ 1).
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        self.response() / self.size
+    }
+
+    /// Queueing slowdown: waiting time / service requirement (≥ 0).
+    ///
+    /// The paper's Theorem 1 works with `E{S} = E{W/X}`; the two
+    /// conventions differ by exactly 1 (`slowdown = 1 + W/X`), so either
+    /// supports the same comparisons.
+    #[must_use]
+    pub fn queueing_slowdown(&self) -> f64 {
+        self.waiting() / self.size
+    }
+}
+
+/// What to collect during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsConfig {
+    /// Skip this many leading jobs from aggregates (warm-up trim).
+    pub warmup_jobs: usize,
+    /// Keep per-job records (memory: 48 B/job).
+    pub collect_records: bool,
+    /// Number of log-spaced size bins for the fairness profile
+    /// (0 disables it).
+    pub fairness_bins: usize,
+    /// Size range for the fairness profile (defaults to `(0.01, 1e7)`).
+    pub fairness_range: (f64, f64),
+    /// If set, also split slowdown statistics into "short" (size ≤ cutoff)
+    /// and "long" (size > cutoff) classes — the SITA-U-fair criterion.
+    pub split_cutoff: Option<f64>,
+    /// Track streaming slowdown percentiles (p50/p90/p95/p99) via the
+    /// P² estimator — O(1) memory, no record buffering.
+    pub slowdown_percentiles: bool,
+    /// If set, count jobs whose slowdown exceeds this service-level
+    /// threshold — "predictable slowdown" (§1.2) as an SLO violation
+    /// fraction.
+    pub slo_slowdown: Option<f64>,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self {
+            warmup_jobs: 0,
+            collect_records: false,
+            fairness_bins: 0,
+            fairness_range: (0.01, 1.0e7),
+            split_cutoff: None,
+            slowdown_percentiles: false,
+            slo_slowdown: None,
+        }
+    }
+}
+
+/// Per-host accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HostStats {
+    /// jobs served by this host
+    pub jobs: u64,
+    /// total work (sum of service requirements) served by this host
+    pub work: f64,
+}
+
+/// Aggregated result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// slowdown (response / size) moments
+    pub slowdown: Moments,
+    /// queueing slowdown (waiting / size) moments
+    pub queueing_slowdown: Moments,
+    /// response-time moments
+    pub response: Moments,
+    /// waiting-time moments
+    pub waiting: Moments,
+    /// per-host job/work tallies (over measured jobs)
+    pub per_host: Vec<HostStats>,
+    /// completion time of the last job
+    pub makespan: f64,
+    /// number of jobs contributing to the aggregates
+    pub measured: u64,
+    /// number of warm-up jobs excluded
+    pub skipped: u64,
+    /// slowdown-vs-size fairness profile, if requested
+    pub fairness: Option<LogHistogram>,
+    /// slowdown moments of jobs with `size ≤ cutoff`, if a split was set
+    pub short_slowdown: Option<Moments>,
+    /// slowdown moments of jobs with `size > cutoff`, if a split was set
+    pub long_slowdown: Option<Moments>,
+    /// streaming slowdown percentiles `(q, estimate)`, if requested
+    pub slowdown_percentiles: Option<Vec<(f64, f64)>>,
+    /// `(violations, threshold)`: jobs whose slowdown exceeded the SLO,
+    /// if a threshold was set
+    pub slo_violations: Option<(u64, f64)>,
+    /// per-job records, if requested
+    pub records: Option<Vec<JobRecord>>,
+}
+
+impl SimResult {
+    /// Fraction of the measured *work* served by host `i` — Figure 5's
+    /// y-axis ("fraction of the total load which goes to Host 1").
+    #[must_use]
+    pub fn load_fraction(&self, host: usize) -> f64 {
+        let total: f64 = self.per_host.iter().map(|h| h.work).sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.per_host[host].work / total
+        }
+    }
+
+    /// Fraction of measured *jobs* dispatched to host `i` (the paper's
+    /// §3.3 "98.7 % of jobs go to Host 1 under SITA-E").
+    #[must_use]
+    pub fn job_fraction(&self, host: usize) -> f64 {
+        let total: u64 = self.per_host.iter().map(|h| h.jobs).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.per_host[host].jobs as f64 / total as f64
+        }
+    }
+
+    /// Fraction of measured jobs violating the configured slowdown SLO
+    /// (`None` when no threshold was set).
+    #[must_use]
+    pub fn slo_violation_fraction(&self) -> Option<f64> {
+        self.slo_violations.map(|(v, _)| {
+            if self.measured == 0 {
+                0.0
+            } else {
+                v as f64 / self.measured as f64
+            }
+        })
+    }
+
+    /// Host utilisations: work served / makespan.
+    #[must_use]
+    pub fn utilizations(&self) -> Vec<f64> {
+        self.per_host
+            .iter()
+            .map(|h| if self.makespan > 0.0 { h.work / self.makespan } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Streaming collector that the engines feed records into.
+#[derive(Debug)]
+pub struct Collector {
+    cfg: MetricsConfig,
+    slowdown: OnlineMoments,
+    queueing_slowdown: OnlineMoments,
+    response: OnlineMoments,
+    waiting: OnlineMoments,
+    per_host: Vec<HostStats>,
+    makespan: f64,
+    seen: u64,
+    fairness: Option<LogHistogram>,
+    short_slowdown: OnlineMoments,
+    long_slowdown: OnlineMoments,
+    percentiles: Option<QuantileSet>,
+    slo_violations: u64,
+    records: Option<Vec<JobRecord>>,
+}
+
+impl Collector {
+    /// Create a collector for `hosts` hosts.
+    #[must_use]
+    pub fn new(hosts: usize, cfg: MetricsConfig) -> Self {
+        let fairness = (cfg.fairness_bins > 0).then(|| {
+            let (lo, hi) = cfg.fairness_range;
+            LogHistogram::new(lo, hi, cfg.fairness_bins)
+        });
+        Self {
+            cfg,
+            slowdown: OnlineMoments::new(),
+            queueing_slowdown: OnlineMoments::new(),
+            response: OnlineMoments::new(),
+            waiting: OnlineMoments::new(),
+            per_host: vec![HostStats::default(); hosts],
+            makespan: 0.0,
+            seen: 0,
+            fairness,
+            short_slowdown: OnlineMoments::new(),
+            long_slowdown: OnlineMoments::new(),
+            percentiles: cfg.slowdown_percentiles.then(QuantileSet::default),
+            slo_violations: 0,
+            records: cfg.collect_records.then(Vec::new),
+        }
+    }
+
+    /// Record one completed job.
+    pub fn record(&mut self, rec: JobRecord) {
+        debug_assert!(rec.start >= rec.arrival, "service before arrival");
+        debug_assert!(rec.completion >= rec.start, "negative service");
+        self.makespan = self.makespan.max(rec.completion);
+        self.seen += 1;
+        if self.seen <= self.cfg.warmup_jobs as u64 {
+            return;
+        }
+        let s = rec.slowdown();
+        self.slowdown.push(s);
+        self.queueing_slowdown.push(rec.queueing_slowdown());
+        self.response.push(rec.response());
+        self.waiting.push(rec.waiting());
+        let h = &mut self.per_host[rec.host];
+        h.jobs += 1;
+        h.work += rec.size;
+        if let Some(f) = &mut self.fairness {
+            f.record(rec.size, s);
+        }
+        if let Some(cutoff) = self.cfg.split_cutoff {
+            if rec.size <= cutoff {
+                self.short_slowdown.push(s);
+            } else {
+                self.long_slowdown.push(s);
+            }
+        }
+        if let Some(p) = &mut self.percentiles {
+            p.push(s);
+        }
+        if let Some(threshold) = self.cfg.slo_slowdown {
+            if s > threshold {
+                self.slo_violations += 1;
+            }
+        }
+        if let Some(v) = &mut self.records {
+            v.push(rec);
+        }
+    }
+
+    /// Finish the run.
+    #[must_use]
+    pub fn finish(self) -> SimResult {
+        let measured = self.slowdown.count();
+        SimResult {
+            slowdown: self.slowdown.finish(),
+            queueing_slowdown: self.queueing_slowdown.finish(),
+            response: self.response.finish(),
+            waiting: self.waiting.finish(),
+            per_host: self.per_host,
+            makespan: self.makespan,
+            measured,
+            skipped: self.seen - measured,
+            fairness: self.fairness,
+            short_slowdown: self.cfg.split_cutoff.map(|_| self.short_slowdown.finish()),
+            long_slowdown: self.cfg.split_cutoff.map(|_| self.long_slowdown.finish()),
+            slowdown_percentiles: self.percentiles.map(|p| p.estimates()),
+            slo_violations: self.cfg.slo_slowdown.map(|t| (self.slo_violations, t)),
+            records: self.records,
+        }
+    }
+}
+
+/// Batch-means confidence half-width for the mean of `values` at roughly
+/// 95 % confidence, using `batches` equal batches.
+///
+/// Returns `(mean, half_width)`. The batch-means method absorbs the
+/// autocorrelation of within-run job metrics that a naive standard error
+/// would ignore.
+#[must_use]
+pub fn batch_means_ci(values: &[f64], batches: usize) -> (f64, f64) {
+    assert!(batches >= 2, "need at least 2 batches");
+    let n = values.len();
+    if n < batches {
+        let mean = values.iter().sum::<f64>() / n.max(1) as f64;
+        return (mean, f64::INFINITY);
+    }
+    let per = n / batches;
+    let means: Vec<f64> = (0..batches)
+        .map(|b| values[b * per..(b + 1) * per].iter().sum::<f64>() / per as f64)
+        .collect();
+    let grand = means.iter().sum::<f64>() / batches as f64;
+    let var = means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>()
+        / (batches - 1) as f64;
+    // t-quantile ~ 2.0 is adequate for ≥ 10 batches at 95%
+    let half = 2.0 * (var / batches as f64).sqrt();
+    (grand, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, arrival: f64, size: f64, start: f64, host: usize) -> JobRecord {
+        JobRecord {
+            id,
+            arrival,
+            size,
+            start,
+            completion: start + size,
+            host,
+        }
+    }
+
+    #[test]
+    fn job_record_derived_metrics() {
+        let r = rec(0, 10.0, 4.0, 12.0, 0);
+        assert_eq!(r.waiting(), 2.0);
+        assert_eq!(r.response(), 6.0);
+        assert_eq!(r.slowdown(), 1.5);
+        assert_eq!(r.queueing_slowdown(), 0.5);
+    }
+
+    #[test]
+    fn collector_aggregates() {
+        let mut c = Collector::new(2, MetricsConfig::default());
+        c.record(rec(0, 0.0, 2.0, 0.0, 0)); // slowdown 1
+        c.record(rec(1, 0.0, 1.0, 1.0, 1)); // slowdown 2
+        let r = c.finish();
+        assert_eq!(r.measured, 2);
+        assert!((r.slowdown.mean - 1.5).abs() < 1e-12);
+        assert_eq!(r.per_host[0].jobs, 1);
+        assert_eq!(r.per_host[1].work, 1.0);
+        assert_eq!(r.makespan, 2.0);
+    }
+
+    #[test]
+    fn warmup_jobs_are_skipped_but_count_into_makespan() {
+        let mut c = Collector::new(1, MetricsConfig {
+            warmup_jobs: 1,
+            ..MetricsConfig::default()
+        });
+        c.record(rec(0, 0.0, 1.0, 100.0, 0));
+        c.record(rec(1, 0.0, 1.0, 0.0, 0));
+        let r = c.finish();
+        assert_eq!(r.measured, 1);
+        assert_eq!(r.skipped, 1);
+        assert!((r.slowdown.mean - 1.0).abs() < 1e-12); // only second job
+        assert_eq!(r.makespan, 101.0);
+    }
+
+    #[test]
+    fn load_and_job_fractions() {
+        let mut c = Collector::new(2, MetricsConfig::default());
+        c.record(rec(0, 0.0, 3.0, 0.0, 0));
+        c.record(rec(1, 0.0, 1.0, 0.0, 1));
+        let r = c.finish();
+        assert!((r.load_fraction(0) - 0.75).abs() < 1e-12);
+        assert!((r.job_fraction(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_cutoff_classifies_short_and_long() {
+        let mut c = Collector::new(1, MetricsConfig {
+            split_cutoff: Some(2.0),
+            ..MetricsConfig::default()
+        });
+        c.record(rec(0, 0.0, 1.0, 1.0, 0)); // short, slowdown 2
+        c.record(rec(1, 0.0, 4.0, 0.0, 0)); // long, slowdown 1
+        let r = c.finish();
+        assert!((r.short_slowdown.unwrap().mean - 2.0).abs() < 1e-12);
+        assert!((r.long_slowdown.unwrap().mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_histogram_populates() {
+        let mut c = Collector::new(1, MetricsConfig {
+            fairness_bins: 10,
+            ..MetricsConfig::default()
+        });
+        c.record(rec(0, 0.0, 1.0, 0.0, 0));
+        c.record(rec(1, 0.0, 1.0e6, 0.0, 0));
+        let r = c.finish();
+        let bins: Vec<_> = r.fairness.unwrap().populated_bins().map(|(c, _)| c).collect();
+        assert_eq!(bins.len(), 2);
+    }
+
+    #[test]
+    fn records_collected_when_asked() {
+        let mut c = Collector::new(1, MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        });
+        c.record(rec(0, 0.0, 1.0, 0.0, 0));
+        let r = c.finish();
+        assert_eq!(r.records.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_means_on_iid_data() {
+        // constant data → zero half width
+        let v = vec![5.0; 1000];
+        let (m, h) = batch_means_ci(&v, 10);
+        assert_eq!(m, 5.0);
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn batch_means_small_sample_is_honest() {
+        let (_, h) = batch_means_ci(&[1.0, 2.0], 10);
+        assert_eq!(h, f64::INFINITY);
+    }
+
+    #[test]
+    fn utilizations_from_makespan() {
+        let mut c = Collector::new(2, MetricsConfig::default());
+        c.record(rec(0, 0.0, 4.0, 0.0, 0));
+        c.record(rec(1, 0.0, 8.0, 2.0, 1)); // completes at 10 → makespan 10
+        let r = c.finish();
+        let u = r.utilizations();
+        assert!((u[0] - 0.4).abs() < 1e-12);
+        assert!((u[1] - 0.8).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod slo_tests {
+    use super::*;
+
+    #[test]
+    fn slo_violations_are_counted() {
+        let mut c = Collector::new(1, MetricsConfig {
+            slo_slowdown: Some(3.0),
+            ..MetricsConfig::default()
+        });
+        for (i, slowdown) in [1.0f64, 2.0, 5.0, 10.0].iter().enumerate() {
+            c.record(JobRecord {
+                id: i as u64,
+                arrival: 0.0,
+                size: 1.0,
+                start: slowdown - 1.0,
+                completion: *slowdown,
+                host: 0,
+            });
+        }
+        let r = c.finish();
+        assert_eq!(r.slo_violations, Some((2, 3.0)));
+        assert!((r.slo_violation_fraction().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_absent_without_threshold() {
+        let c = Collector::new(1, MetricsConfig::default());
+        let r = c.finish();
+        assert!(r.slo_violations.is_none());
+        assert!(r.slo_violation_fraction().is_none());
+    }
+}
+
+#[cfg(test)]
+mod percentile_tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_tracked_when_enabled() {
+        let mut c = Collector::new(1, MetricsConfig {
+            slowdown_percentiles: true,
+            ..MetricsConfig::default()
+        });
+        for i in 0..1000 {
+            let slowdown = 1.0 + (i % 100) as f64; // slowdowns 1..=100
+            c.record(JobRecord {
+                id: i,
+                arrival: 0.0,
+                size: 1.0,
+                start: slowdown - 1.0,
+                completion: slowdown,
+                host: 0,
+            });
+        }
+        let r = c.finish();
+        let p = r.slowdown_percentiles.expect("enabled");
+        let median = p.iter().find(|(q, _)| (*q - 0.5).abs() < 1e-9).unwrap().1;
+        assert!((median - 51.0).abs() < 5.0, "median = {median}");
+        let p99 = p.iter().find(|(q, _)| (*q - 0.99).abs() < 1e-9).unwrap().1;
+        assert!(p99 > 95.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn percentiles_absent_by_default() {
+        let c = Collector::new(1, MetricsConfig::default());
+        assert!(c.finish().slowdown_percentiles.is_none());
+    }
+}

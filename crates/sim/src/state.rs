@@ -1,0 +1,163 @@
+//! The policy-facing view of the system and the dispatcher interface.
+
+use dses_dist::Rng64;
+use dses_workload::Job;
+
+/// What a dispatch-on-arrival policy may observe about one host at the
+/// instant a job arrives.
+///
+/// The paper's policies use exactly these observables: Shortest-Queue
+/// reads [`HostView::queue_len`], Least-Work-Left reads
+/// [`HostView::work_left`], and the static policies (Random, Round-Robin,
+/// SITA) read neither.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostView {
+    /// Number of jobs at the host (queued + in service).
+    pub queue_len: usize,
+    /// Total unfinished work at the host, in seconds: remaining service
+    /// of the job in service plus full sizes of queued jobs.
+    pub work_left: f64,
+}
+
+/// A snapshot of the whole system at a dispatch instant.
+#[derive(Debug)]
+pub struct SystemState<'a> {
+    /// Current simulation time.
+    pub now: f64,
+    /// Per-host observables, indexed by host id `0..h`.
+    pub hosts: &'a [HostView],
+}
+
+impl SystemState<'_> {
+    /// Number of hosts.
+    #[must_use]
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Index of a host with the fewest jobs (ties broken by lowest id,
+    /// making runs deterministic).
+    #[must_use]
+    pub fn shortest_queue(&self) -> usize {
+        self.hosts
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.queue_len.cmp(&b.queue_len))
+            .map(|(i, _)| i)
+            .expect("at least one host")
+    }
+
+    /// Index of a host with the least unfinished work (ties broken by
+    /// lowest id).
+    #[must_use]
+    pub fn least_work(&self) -> usize {
+        self.hosts
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.work_left.total_cmp(&b.work_left))
+            .map(|(i, _)| i)
+            .expect("at least one host")
+    }
+
+    /// Like [`SystemState::least_work`] but restricted to a subset of
+    /// host indices — used by the paper's §5 grouped SITA+LWL hybrid.
+    ///
+    /// # Panics
+    /// Panics if `subset` is empty or contains an out-of-range index.
+    #[must_use]
+    pub fn least_work_among(&self, subset: &[usize]) -> usize {
+        subset
+            .iter()
+            .copied()
+            .min_by(|&a, &b| self.hosts[a].work_left.total_cmp(&self.hosts[b].work_left))
+            .expect("subset must be non-empty")
+    }
+}
+
+/// A task-assignment policy that picks a host the moment a job arrives.
+///
+/// Implementations live in `dses-core`; the engine hands them the job,
+/// the system snapshot, and a random stream, and they return a host index
+/// in `0..state.num_hosts()`.
+pub trait Dispatcher {
+    /// Choose the host for `job`.
+    fn dispatch(&mut self, job: &Job, state: &SystemState<'_>, rng: &mut Rng64) -> usize;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String {
+        "unnamed".to_string()
+    }
+
+    /// Reset any internal state (e.g. Round-Robin's counter) before a run.
+    fn reset(&mut self) {}
+}
+
+/// Order in which a central queue hands jobs to idle hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// First-come-first-served — the paper's **Central-Queue** policy,
+    /// provably equivalent to Least-Work-Left (\[11\], §3.1).
+    Fcfs,
+    /// Shortest-Job-First — the size-favouring discipline the paper's §8
+    /// discussion points to (requires size knowledge; unfair without
+    /// SITA-U's compensation).
+    Sjf,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(data: &[(usize, f64)]) -> Vec<HostView> {
+        data.iter()
+            .map(|&(q, w)| HostView {
+                queue_len: q,
+                work_left: w,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shortest_queue_picks_minimum() {
+        let hosts = views(&[(3, 10.0), (1, 50.0), (2, 5.0)]);
+        let s = SystemState { now: 0.0, hosts: &hosts };
+        assert_eq!(s.shortest_queue(), 1);
+    }
+
+    #[test]
+    fn shortest_queue_breaks_ties_by_lowest_index() {
+        let hosts = views(&[(2, 10.0), (2, 1.0), (3, 0.0)]);
+        let s = SystemState { now: 0.0, hosts: &hosts };
+        assert_eq!(s.shortest_queue(), 0);
+    }
+
+    #[test]
+    fn least_work_picks_minimum() {
+        let hosts = views(&[(0, 10.0), (5, 2.0), (1, 7.0)]);
+        let s = SystemState { now: 0.0, hosts: &hosts };
+        assert_eq!(s.least_work(), 1);
+    }
+
+    #[test]
+    fn least_work_tie_goes_to_lowest_index() {
+        let hosts = views(&[(0, 4.0), (0, 4.0)]);
+        let s = SystemState { now: 0.0, hosts: &hosts };
+        assert_eq!(s.least_work(), 0);
+    }
+
+    #[test]
+    fn least_work_among_subset() {
+        let hosts = views(&[(0, 1.0), (0, 5.0), (0, 3.0), (0, 2.0)]);
+        let s = SystemState { now: 0.0, hosts: &hosts };
+        assert_eq!(s.least_work_among(&[1, 2, 3]), 3);
+        assert_eq!(s.least_work_among(&[1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn least_work_among_empty_panics() {
+        let hosts = views(&[(0, 1.0)]);
+        let s = SystemState { now: 0.0, hosts: &hosts };
+        let _ = s.least_work_among(&[]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-validation helpers used by tests, benches and the `claims`
+//! exhibit binary.
+//!
+//! The key check is the paper's §3.1 citation of \[11\]: **Least-Work-Left
+//! is equivalent to Central-Queue for any sequence of job requests** —
+//! not just in distribution, but job-for-job. [`assert_response_equivalence`]
+//! verifies that two runs gave every job the same response time.
+
+use crate::metrics::JobRecord;
+
+/// Maximum relative deviation between two runs' per-job response times.
+///
+/// Records are matched by job id; both slices must cover the same ids.
+///
+/// # Panics
+/// Panics if the id sets differ.
+#[must_use]
+pub fn max_response_deviation(a: &[JobRecord], b: &[JobRecord]) -> f64 {
+    assert_eq!(a.len(), b.len(), "record sets differ in length");
+    let mut a_sorted = a.to_vec();
+    let mut b_sorted = b.to_vec();
+    a_sorted.sort_by_key(|r| r.id);
+    b_sorted.sort_by_key(|r| r.id);
+    let mut worst = 0.0f64;
+    for (ra, rb) in a_sorted.iter().zip(&b_sorted) {
+        assert_eq!(ra.id, rb.id, "record id mismatch");
+        let denom = ra.response().abs().max(1e-12);
+        worst = worst.max((ra.response() - rb.response()).abs() / denom);
+    }
+    worst
+}
+
+/// Assert two runs are response-time equivalent within `tol` relative
+/// error (use `0.0` + a tiny epsilon for the exact LWL ≡ Central-Queue
+/// theorem).
+pub fn assert_response_equivalence(a: &[JobRecord], b: &[JobRecord], tol: f64) {
+    let dev = max_response_deviation(a, b);
+    assert!(
+        dev <= tol,
+        "runs differ: max relative response deviation {dev} > {tol}"
+    );
+}
+
+/// Check the FCFS invariant: on each host, jobs start in arrival order.
+#[must_use]
+pub fn fcfs_order_respected(records: &[JobRecord]) -> bool {
+    let hosts = records.iter().map(|r| r.host).max().map_or(0, |h| h + 1);
+    for host in 0..hosts {
+        let mut host_recs: Vec<&JobRecord> = records.iter().filter(|r| r.host == host).collect();
+        host_recs.sort_by(|x, y| x.arrival.total_cmp(&y.arrival).then(x.id.cmp(&y.id)));
+        for w in host_recs.windows(2) {
+            if w[1].start < w[0].start {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Check work conservation on each host: service periods never overlap
+/// and each job is served for exactly its size.
+#[must_use]
+pub fn service_is_exclusive_and_exact(records: &[JobRecord]) -> bool {
+    let hosts = records.iter().map(|r| r.host).max().map_or(0, |h| h + 1);
+    for host in 0..hosts {
+        let mut intervals: Vec<(f64, f64)> = records
+            .iter()
+            .filter(|r| r.host == host)
+            .map(|r| (r.start, r.completion))
+            .collect();
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in intervals.windows(2) {
+            // tolerance scales with the clock value (f64 ulps grow with t)
+            let tol = 1e-9 * w[0].1.abs().max(1.0);
+            if w[1].0 < w[0].1 - tol {
+                return false; // overlap: two jobs on one host at once
+            }
+        }
+    }
+    records.iter().all(|r| {
+        let tol = 1e-9 * r.start.abs().max(r.size).max(1.0);
+        (r.completion - r.start - r.size).abs() < tol
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, arrival: f64, size: f64, start: f64, host: usize) -> JobRecord {
+        JobRecord {
+            id,
+            arrival,
+            size,
+            start,
+            completion: start + size,
+            host,
+        }
+    }
+
+    #[test]
+    fn equivalence_of_identical_runs() {
+        let a = vec![rec(0, 0.0, 1.0, 0.0, 0), rec(1, 1.0, 2.0, 1.0, 1)];
+        let b = a.clone();
+        assert_eq!(max_response_deviation(&a, &b), 0.0);
+        assert_response_equivalence(&a, &b, 0.0);
+    }
+
+    #[test]
+    fn equivalence_ignores_host_assignment() {
+        // same response times on different hosts: still equivalent
+        let a = vec![rec(0, 0.0, 1.0, 0.0, 0)];
+        let b = vec![rec(0, 0.0, 1.0, 0.0, 1)];
+        assert_eq!(max_response_deviation(&a, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs differ")]
+    fn detects_divergent_runs() {
+        let a = vec![rec(0, 0.0, 1.0, 0.0, 0)];
+        let b = vec![rec(0, 0.0, 1.0, 5.0, 0)];
+        assert_response_equivalence(&a, &b, 1e-9);
+    }
+
+    #[test]
+    fn order_matching_is_by_id() {
+        let a = vec![rec(1, 1.0, 2.0, 1.0, 0), rec(0, 0.0, 1.0, 0.0, 0)];
+        let b = vec![rec(0, 0.0, 1.0, 0.0, 0), rec(1, 1.0, 2.0, 1.0, 0)];
+        assert_eq!(max_response_deviation(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn fcfs_order_check() {
+        let good = vec![rec(0, 0.0, 5.0, 0.0, 0), rec(1, 1.0, 1.0, 5.0, 0)];
+        assert!(fcfs_order_respected(&good));
+        let bad = vec![rec(0, 0.0, 5.0, 1.0, 0), rec(1, 1.0, 1.0, 0.0, 0)];
+        assert!(!fcfs_order_respected(&bad));
+    }
+
+    #[test]
+    fn exclusivity_check() {
+        let good = vec![rec(0, 0.0, 5.0, 0.0, 0), rec(1, 0.0, 1.0, 5.0, 0)];
+        assert!(service_is_exclusive_and_exact(&good));
+        let overlapping = vec![rec(0, 0.0, 5.0, 0.0, 0), rec(1, 0.0, 1.0, 2.0, 0)];
+        assert!(!service_is_exclusive_and_exact(&overlapping));
+        // wrong service duration
+        let mut wrong = vec![rec(0, 0.0, 5.0, 0.0, 0)];
+        wrong[0].completion = 7.0;
+        assert!(!service_is_exclusive_and_exact(&wrong));
+    }
+
+    #[test]
+    fn different_hosts_may_overlap_in_time() {
+        let parallel = vec![rec(0, 0.0, 5.0, 0.0, 0), rec(1, 0.0, 5.0, 0.0, 1)];
+        assert!(service_is_exclusive_and_exact(&parallel));
+    }
+}

@@ -1,0 +1,69 @@
+//! The job record.
+
+/// A batch job: the unit of work dispatched to exactly one host.
+///
+/// In the paper's architectural model a job occupies a whole
+/// multiprocessor host, runs to completion, and is never preempted; its
+/// only scheduling-relevant attribute is its service requirement (CPU
+/// time on a dedicated host). Memory is *not* modelled because each job
+/// has exclusive access to its host's memory (paper §1.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Sequence number in arrival order (0-based).
+    pub id: u64,
+    /// Arrival time at the dispatcher, in seconds from trace start.
+    pub arrival: f64,
+    /// Service requirement in seconds on a dedicated host.
+    pub size: f64,
+}
+
+impl Job {
+    /// Create a job. `arrival` must be nonnegative and `size` positive.
+    ///
+    /// # Panics
+    /// Panics on NaN/negative arrival or non-positive size — job streams
+    /// are internal data and malformed ones are programming errors.
+    #[must_use]
+    pub fn new(id: u64, arrival: f64, size: f64) -> Self {
+        assert!(
+            arrival >= 0.0 && arrival.is_finite(),
+            "job {id}: arrival {arrival} must be finite and nonnegative"
+        );
+        assert!(
+            size > 0.0 && size.is_finite(),
+            "job {id}: size {size} must be finite and positive"
+        );
+        Self { id, arrival, size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_valid_job() {
+        let j = Job::new(3, 10.0, 2.5);
+        assert_eq!(j.id, 3);
+        assert_eq!(j.arrival, 10.0);
+        assert_eq!(j.size, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival")]
+    fn rejects_negative_arrival() {
+        let _ = Job::new(0, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size")]
+    fn rejects_zero_size() {
+        let _ = Job::new(0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size")]
+    fn rejects_nan_size() {
+        let _ = Job::new(0, 0.0, f64::NAN);
+    }
+}

@@ -1,0 +1,250 @@
+//! Calibrated workload presets standing in for the paper's traces.
+//!
+//! The paper evaluates on three traces (Table 1):
+//!
+//! | system      | duration            | jobs    | character                      |
+//! |-------------|---------------------|---------|--------------------------------|
+//! | PSC Cray C90| Jan–Dec 1997        | ~55 000 | very heavy tail, `C² = 43`     |
+//! | PSC Cray J90| Jan–Dec 1997        | ~3 600  | similar shape, fewer jobs      |
+//! | CTC IBM SP2 | Jul 1996 – May 1997 | ~79 000 | 12-hour runtime cap ⇒ low `C²` |
+//!
+//! The raw logs are not redistributable, so each preset is a **body–tail
+//! Bounded-Pareto mixture** calibrated (via
+//! [`dses_dist::fit::fit_body_tail`]) to the published statistics that,
+//! per the paper's own analysis, drive policy performance:
+//!
+//! * the mean service requirement and the squared coefficient of
+//!   variation `C²` (Table 1);
+//! * the support (smallest and largest job); and
+//! * the **tail-load concentration** — for the Cray traces, "half the
+//!   total load is made up by only the biggest 1.3 % of all the jobs"
+//!   (§4.3).
+//!
+//! No single Bounded Pareto can satisfy all of these at once, which is
+//! why the stand-in is a two-piece mixture; see `DESIGN.md` for the full
+//! substitution argument. Real SWF traces can replace the presets through
+//! [`crate::swf`].
+
+use crate::synthetic::WorkloadBuilder;
+use crate::trace::Trace;
+use dses_dist::fit::{fit_body_tail, BodyTailTargets};
+use dses_dist::{Distribution, Mixture};
+
+/// A named, calibrated workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadPreset {
+    /// short name, e.g. `"PSC-C90"`
+    pub name: &'static str,
+    /// what this preset stands in for
+    pub description: &'static str,
+    /// calibrated job-size distribution (body–tail mixture)
+    pub size_dist: Mixture,
+    /// the calibration targets the mixture was solved against
+    pub targets: BodyTailTargets,
+    /// number of jobs in the original trace (used as the default sample
+    /// size when generating)
+    pub trace_jobs: usize,
+}
+
+impl WorkloadPreset {
+    fn calibrate(
+        name: &'static str,
+        description: &'static str,
+        targets: BodyTailTargets,
+        trace_jobs: usize,
+    ) -> Self {
+        let size_dist = fit_body_tail(targets)
+            .unwrap_or_else(|e| panic!("preset {name} failed to calibrate: {e}"));
+        Self {
+            name,
+            description,
+            size_dist,
+            targets,
+            trace_jobs,
+        }
+    }
+
+    /// Generate a synthetic trace: `n` jobs at Poisson system load `rho`
+    /// on `hosts` hosts.
+    #[must_use]
+    pub fn trace(&self, n: usize, rho: f64, hosts: usize, seed: u64) -> Trace {
+        WorkloadBuilder::new(self.size_dist.clone())
+            .jobs(n)
+            .poisson_load(rho, hosts)
+            .seed(seed)
+            .build()
+    }
+
+    /// Table-1-style description of the calibrated distribution.
+    #[must_use]
+    pub fn table1_row(&self) -> String {
+        let (lo, hi) = self.size_dist.support();
+        format!(
+            "{:<10} mean={:<10.1} min={:<8.1} max={:<12.0} C^2={:<8.2} E[1/X]={:.5}",
+            self.name,
+            self.size_dist.mean(),
+            lo,
+            hi,
+            self.size_dist.scv(),
+            self.size_dist.raw_moment(-1),
+        )
+    }
+}
+
+/// The PSC Cray C90 workload — the paper's primary trace.
+///
+/// Calibration targets: mean ≈ 4 562 s, `C² = 43`, support
+/// `[60 s, 2.22 × 10⁶ s]` (~26 days), and the §4.3 property that the
+/// biggest 1.3 % of jobs carry half the load. ~55 000 jobs over a year.
+#[must_use]
+pub fn psc_c90() -> WorkloadPreset {
+    WorkloadPreset::calibrate(
+        "PSC-C90",
+        "Pittsburgh Supercomputing Center Cray C90 batch jobs, Jan-Dec 1997",
+        BodyTailTargets {
+            mean: 4_562.0,
+            scv: 43.0,
+            min: 60.0,
+            max: 2.22e6,
+            tail_jobs: 0.013,
+            tail_load: 0.5,
+        },
+        55_000,
+    )
+}
+
+/// The PSC Cray J90 workload.
+///
+/// Same system family and year as the C90 trace; the paper reports the
+/// policy comparison is "virtually identical" (appendix B). Calibration:
+/// mean ≈ 3 010 s, `C² = 38`, max ≈ 1.8 × 10⁶ s, same tail-load shape.
+#[must_use]
+pub fn psc_j90() -> WorkloadPreset {
+    WorkloadPreset::calibrate(
+        "PSC-J90",
+        "Pittsburgh Supercomputing Center Cray J90 batch jobs, Jan-Dec 1997",
+        BodyTailTargets {
+            mean: 3_010.0,
+            scv: 38.0,
+            min: 60.0,
+            max: 1.8e6,
+            tail_jobs: 0.013,
+            tail_load: 0.5,
+        },
+        3_600,
+    )
+}
+
+/// The CTC IBM SP2 workload (8-processor jobs).
+///
+/// Users were told jobs would be killed after 12 hours, so the support is
+/// capped at 43 200 s and the variance is far lower than the Cray traces
+/// — yet the paper finds the comparative policy performance unchanged
+/// (appendix C). Calibration: mean ≈ 2 900 s, `C² = 2.2`, max = 43 200 s.
+/// With the cap, load concentration is milder: the top quarter of jobs
+/// carries three quarters of the load.
+#[must_use]
+pub fn ctc_sp2() -> WorkloadPreset {
+    WorkloadPreset::calibrate(
+        "CTC-SP2",
+        "Cornell Theory Center IBM SP2 8-processor jobs, Jul 1996 - May 1997 (12h cap)",
+        BodyTailTargets {
+            mean: 2_900.0,
+            scv: 2.2,
+            min: 60.0,
+            max: 43_200.0,
+            tail_jobs: 0.25,
+            tail_load: 0.75,
+        },
+        79_000,
+    )
+}
+
+/// All three presets, C90 first (the paper's default).
+#[must_use]
+pub fn all_presets() -> Vec<WorkloadPreset> {
+    vec![psc_c90(), psc_j90(), ctc_sp2()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c90_matches_published_statistics() {
+        let p = psc_c90();
+        assert!((p.size_dist.mean() - 4_562.0).abs() / 4_562.0 < 1e-4);
+        assert!((p.size_dist.scv() - 43.0).abs() / 43.0 < 1e-3);
+        let (lo, hi) = p.size_dist.support();
+        assert!((lo - 60.0).abs() < 1e-6);
+        assert!((hi - 2.22e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn c90_heavy_tail_property_is_exact() {
+        // §4.3: "half the total load is made up by only the biggest 1.3%
+        // of all the jobs" — exact by construction of the mixture
+        let p = psc_c90();
+        let split = p.size_dist.components()[1].support().0;
+        let (_, hi) = p.size_dist.support();
+        assert!((p.size_dist.prob_in(split, hi) - 0.013).abs() < 1e-9);
+        assert!((p.size_dist.tail_load_fraction(split) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ctc_is_much_less_variable_than_c90() {
+        let c90 = psc_c90();
+        let ctc = ctc_sp2();
+        assert!(c90.size_dist.scv() > 10.0 * ctc.size_dist.scv());
+        let (_, max) = ctc.size_dist.support();
+        assert!((max - 43_200.0).abs() < 1.0, "CTC cap is 12 hours");
+    }
+
+    #[test]
+    fn j90_matches_targets() {
+        let p = psc_j90();
+        assert!((p.size_dist.mean() - 3_010.0).abs() / 3_010.0 < 1e-4);
+        assert!((p.size_dist.scv() - 38.0).abs() / 38.0 < 1e-3);
+    }
+
+    #[test]
+    fn trace_generation_hits_load() {
+        let p = psc_c90();
+        let t = p.trace(30_000, 0.5, 2, 11);
+        assert_eq!(t.len(), 30_000);
+        let rho = t.system_load(2);
+        // heavy-tailed sample means converge slowly; generous band
+        assert!((rho - 0.5).abs() < 0.15, "load = {rho}");
+    }
+
+    #[test]
+    fn sampled_trace_reflects_calibration() {
+        let p = psc_c90();
+        let t = p.trace(120_000, 0.7, 2, 19);
+        let s = t.size_summary();
+        assert!(
+            (s.mean() - 4_562.0).abs() / 4_562.0 < 0.12,
+            "sample mean = {}",
+            s.mean()
+        );
+        assert!(s.scv() > 15.0, "sample C^2 = {}", s.scv());
+    }
+
+    #[test]
+    fn most_jobs_are_small_but_load_is_in_the_tail() {
+        // the defining supercomputing-workload shape
+        let p = psc_c90();
+        let d = &p.size_dist;
+        let median = d.quantile(0.5);
+        assert!(median < d.mean() / 2.0, "median {median} vs mean {}", d.mean());
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        for p in all_presets() {
+            let row = p.table1_row();
+            assert!(row.contains(p.name));
+            assert!(row.contains("C^2="));
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The [`Trace`] container: an arrival-ordered sequence of jobs plus the
+//! statistics the paper reports about it.
+
+use crate::job::Job;
+use dses_dist::Summary;
+
+/// An arrival-ordered job trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Build a trace from jobs, sorting by arrival time and renumbering
+    /// ids in arrival order (stable for ties).
+    #[must_use]
+    pub fn new(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = i as u64;
+        }
+        Self { jobs }
+    }
+
+    /// The jobs, in arrival order.
+    #[must_use]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Trace duration: last arrival time minus first (0 for < 2 jobs).
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        match (self.jobs.first(), self.jobs.last()) {
+            (Some(first), Some(last)) => last.arrival - first.arrival,
+            _ => 0.0,
+        }
+    }
+
+    /// Mean arrival rate λ = (n − 1) / duration (jobs per second).
+    #[must_use]
+    pub fn arrival_rate(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 || self.jobs.len() < 2 {
+            0.0
+        } else {
+            (self.jobs.len() - 1) as f64 / d
+        }
+    }
+
+    /// Offered *system* load for a server with `hosts` identical hosts:
+    /// `ρ = λ · E[X] / h`. The system is stable iff ρ < 1 (assuming the
+    /// policy can use all hosts).
+    #[must_use]
+    pub fn system_load(&self, hosts: usize) -> f64 {
+        assert!(hosts > 0, "need at least one host");
+        let mean_size = self.size_summary().mean();
+        self.arrival_rate() * mean_size / hosts as f64
+    }
+
+    /// Summary statistics of the job sizes (the paper's Table 1 row).
+    #[must_use]
+    pub fn size_summary(&self) -> Summary {
+        Summary::from_values(&self.sizes())
+    }
+
+    /// Summary statistics of the interarrival times.
+    #[must_use]
+    pub fn interarrival_summary(&self) -> Summary {
+        let gaps: Vec<f64> = self
+            .jobs
+            .windows(2)
+            .map(|w| w[1].arrival - w[0].arrival)
+            .collect();
+        Summary::from_values(&gaps)
+    }
+
+    /// The job sizes in arrival order.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<f64> {
+        self.jobs.iter().map(|j| j.size).collect()
+    }
+
+    /// Split into (first half, second half) by arrival order — the paper
+    /// fits cutoffs on one half of the trace and evaluates on the other
+    /// (§4.1).
+    #[must_use]
+    pub fn split_half(&self) -> (Trace, Trace) {
+        let mid = self.jobs.len() / 2;
+        let first = Trace::new(self.jobs[..mid].to_vec());
+        // re-zero the second half's clock so both halves start at t ≈ 0
+        let offset = self.jobs.get(mid).map_or(0.0, |j| j.arrival);
+        let second = Trace::new(
+            self.jobs[mid..]
+                .iter()
+                .map(|j| Job::new(j.id, j.arrival - offset, j.size))
+                .collect(),
+        );
+        (first, second)
+    }
+
+    /// Return a copy with every interarrival time multiplied by `factor`
+    /// (> 0). This is the paper's §6 operation: take the (bursty)
+    /// empirical arrival sequence and scale it to produce a target load,
+    /// preserving its correlation structure.
+    #[must_use]
+    pub fn scale_interarrivals(&self, factor: f64) -> Trace {
+        assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
+        let base = self.jobs.first().map_or(0.0, |j| j.arrival);
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| Job::new(j.id, base + (j.arrival - base) * factor, j.size))
+            .collect();
+        Trace::new(jobs)
+    }
+
+    /// Return a copy scaled so the *system* load on `hosts` hosts equals
+    /// `target_load`.
+    #[must_use]
+    pub fn scale_to_load(&self, hosts: usize, target_load: f64) -> Trace {
+        assert!(target_load > 0.0, "target load must be positive");
+        let current = self.system_load(hosts);
+        assert!(current > 0.0, "cannot scale an empty or instantaneous trace");
+        self.scale_interarrivals(current / target_load)
+    }
+
+    /// Keep only the first `n` jobs.
+    #[must_use]
+    pub fn truncate(&self, n: usize) -> Trace {
+        Trace::new(self.jobs.iter().take(n).copied().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Trace {
+        Trace::new(vec![
+            Job::new(9, 4.0, 2.0),
+            Job::new(7, 0.0, 1.0),
+            Job::new(8, 2.0, 4.0),
+            Job::new(6, 6.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn sorts_and_renumbers() {
+        let t = toy();
+        let arrivals: Vec<f64> = t.jobs().iter().map(|j| j.arrival).collect();
+        assert_eq!(arrivals, vec![0.0, 2.0, 4.0, 6.0]);
+        let ids: Vec<u64> = t.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duration_and_rate() {
+        let t = toy();
+        assert_eq!(t.duration(), 6.0);
+        assert!((t.arrival_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_load_definition() {
+        let t = toy();
+        // mean size 2.0, λ = 0.5 → 1-host load 1.0, 2-host load 0.5
+        assert!((t.system_load(1) - 1.0).abs() < 1e-12);
+        assert!((t.system_load(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_summary_matches_table1_fields() {
+        let t = toy();
+        let s = t.size_summary();
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn split_half_preserves_jobs_and_rezeros() {
+        let t = toy();
+        let (a, b) = t.split_half();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.jobs()[0].arrival, 0.0);
+        assert_eq!(b.jobs()[1].arrival, 2.0);
+    }
+
+    #[test]
+    fn scaling_interarrivals_scales_load() {
+        let t = toy();
+        let slow = t.scale_interarrivals(2.0);
+        assert!((slow.system_load(1) - 0.5).abs() < 1e-12);
+        let fast = t.scale_to_load(1, 0.8);
+        assert!((fast.system_load(1) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_preserves_sizes_and_order() {
+        let t = toy();
+        let s = t.scale_interarrivals(3.0);
+        assert_eq!(s.sizes(), t.sizes());
+    }
+
+    #[test]
+    fn interarrival_summary() {
+        let t = toy();
+        let s = t.interarrival_summary();
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert!(s.scv().abs() < 1e-12); // perfectly regular
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let t = toy().truncate(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.jobs()[1].arrival, 2.0);
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let t = Trace::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.arrival_rate(), 0.0);
+    }
+}
+
+impl Trace {
+    /// Keep only jobs whose size lies in `(lo, hi]` — e.g. to study one
+    /// SITA band of a real trace in isolation.
+    #[must_use]
+    pub fn filter_sizes(&self, lo: f64, hi: f64) -> Trace {
+        Trace::new(
+            self.jobs
+                .iter()
+                .filter(|j| j.size > lo && j.size <= hi)
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Keep only jobs arriving in `[t0, t1)`, re-zeroing the clock — e.g.
+    /// to cut a month out of a year-long SWF log.
+    #[must_use]
+    pub fn window(&self, t0: f64, t1: f64) -> Trace {
+        assert!(t1 > t0, "window must be non-empty");
+        Trace::new(
+            self.jobs
+                .iter()
+                .filter(|j| j.arrival >= t0 && j.arrival < t1)
+                .map(|j| Job::new(j.id, j.arrival - t0, j.size))
+                .collect(),
+        )
+    }
+
+    /// Interleave two traces into one arrival-ordered stream — e.g. to
+    /// model two submission sources sharing a server bank.
+    #[must_use]
+    pub fn merge(&self, other: &Trace) -> Trace {
+        let mut jobs = self.jobs.clone();
+        jobs.extend(other.jobs.iter().copied());
+        Trace::new(jobs)
+    }
+}
+
+#[cfg(test)]
+mod manipulation_tests {
+    use super::*;
+
+    fn toy() -> Trace {
+        Trace::new(vec![
+            Job::new(0, 0.0, 1.0),
+            Job::new(1, 2.0, 10.0),
+            Job::new(2, 4.0, 3.0),
+            Job::new(3, 6.0, 10.0),
+        ])
+    }
+
+    #[test]
+    fn filter_sizes_is_half_open() {
+        let t = toy().filter_sizes(1.0, 10.0);
+        // keeps sizes in (1, 10]: 10, 3, 10
+        assert_eq!(t.len(), 3);
+        assert!(t.sizes().iter().all(|&s| s > 1.0 && s <= 10.0));
+    }
+
+    #[test]
+    fn window_rezeros_clock() {
+        let t = toy().window(2.0, 6.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.jobs()[0].arrival, 0.0);
+        assert_eq!(t.jobs()[1].arrival, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn window_rejects_empty_range() {
+        let _ = toy().window(5.0, 5.0);
+    }
+
+    #[test]
+    fn merge_interleaves_and_renumbers() {
+        let a = Trace::new(vec![Job::new(0, 1.0, 1.0), Job::new(1, 5.0, 1.0)]);
+        let b = Trace::new(vec![Job::new(0, 3.0, 2.0)]);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 3);
+        let arrivals: Vec<f64> = m.jobs().iter().map(|j| j.arrival).collect();
+        assert_eq!(arrivals, vec![1.0, 3.0, 5.0]);
+        let ids: Vec<u64> = m.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn band_of_trace_matches_sita_routing() {
+        // filtering at a cutoff reproduces what a SITA host would see
+        let t = toy();
+        let short = t.filter_sizes(0.0, 3.0);
+        let long = t.filter_sizes(3.0, f64::INFINITY);
+        assert_eq!(short.len() + long.len(), t.len());
+        assert!(short.sizes().iter().all(|&s| s <= 3.0));
+        assert!(long.sizes().iter().all(|&s| s > 3.0));
+    }
+}

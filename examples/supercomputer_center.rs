@@ -1,0 +1,70 @@
+//! Choosing a task-assignment policy for a supercomputing center.
+//!
+//! Scenario: a center operates a bank of identical multiprocessor hosts
+//! (like the Cray J90 distributed servers at PSC/NASA Ames, paper §1.1)
+//! and must pick a dispatch rule. This example sweeps the candidate
+//! policies across host counts and loads — including the paper's §5
+//! grouped SITA+LWL hybrids for larger banks — and prints a
+//! recommendation per configuration.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dses-core --example supercomputer_center
+//! ```
+
+use dses_core::cutoffs::CutoffMethod;
+use dses_core::prelude::*;
+use dses_core::report::{fmt_num, Table};
+
+fn main() {
+    let workload = dses_workload::psc_j90();
+    println!("Workload: {}\n", workload.description);
+
+    for hosts in [2usize, 4, 8, 16] {
+        let experiment = Experiment::new(workload.size_dist.clone())
+            .hosts(hosts)
+            .jobs(120_000)
+            .warmup_jobs(2_000)
+            .seed(7);
+        let candidates: Vec<PolicySpec> = if hosts == 2 {
+            vec![
+                PolicySpec::LeastWorkLeft,
+                PolicySpec::SitaE,
+                PolicySpec::SitaUFair,
+            ]
+        } else {
+            vec![
+                PolicySpec::LeastWorkLeft,
+                PolicySpec::Grouped { method: CutoffMethod::EqualLoad },
+                PolicySpec::Grouped { method: CutoffMethod::Fair },
+            ]
+        };
+        let mut table = Table::new(
+            format!("{hosts}-host bank — mean slowdown by policy"),
+            &["rho", "LWL", "SITA-E(-ish)", "SITA-U-fair(-ish)", "recommendation"],
+        );
+        for rho in [0.5, 0.7, 0.9] {
+            let mut results: Vec<(String, f64)> = Vec::new();
+            let mut row = vec![format!("{rho:.1}")];
+            for spec in &candidates {
+                let slowdown = experiment
+                    .try_run(spec, rho)
+                    .map(|r| r.slowdown.mean)
+                    .unwrap_or(f64::NAN);
+                results.push((spec.name(), slowdown));
+                row.push(fmt_num(slowdown));
+            }
+            let best = results
+                .iter()
+                .filter(|(_, s)| s.is_finite())
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(n, _)| n.clone())
+                .unwrap_or_else(|| "-".into());
+            row.push(best);
+            table.push_row(row);
+        }
+        println!("{}", table.render());
+    }
+    println!("Pattern (paper §5): size-based assignment dominates for small banks;");
+    println!("Least-Work-Left catches up as the bank grows and idle hosts become common.");
+}

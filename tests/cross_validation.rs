@@ -1,0 +1,263 @@
+//! Cross-validation: the two simulation engines against each other, the
+//! simulators against queueing theory, and the paper's equivalence
+//! theorem (Least-Work-Left ≡ Central-Queue).
+
+use dses_core::policies::{LeastWorkLeft, RandomPolicy, RoundRobin, ShortestQueue, SizeInterval};
+use dses_core::prelude::*;
+use dses_queueing::{Mg1, ServiceMoments};
+use dses_sim::validate::{
+    assert_response_equivalence, fcfs_order_respected, service_is_exclusive_and_exact,
+};
+use dses_sim::{simulate_dispatch, EventEngine};
+
+fn records_cfg() -> MetricsConfig {
+    MetricsConfig {
+        collect_records: true,
+        ..MetricsConfig::default()
+    }
+}
+
+fn c90_trace(jobs: usize, rho: f64, seed: u64) -> Trace {
+    dses_workload::psc_c90().trace(jobs, rho, 2, seed)
+}
+
+#[test]
+fn fast_engine_equals_event_engine_for_every_policy() {
+    let trace = c90_trace(8_000, 0.8, 42);
+    let mut policies: Vec<Box<dyn Dispatcher>> = vec![
+        Box::new(RandomPolicy),
+        Box::new(RoundRobin::default()),
+        Box::new(ShortestQueue),
+        Box::new(LeastWorkLeft),
+        Box::new(SizeInterval::new(vec![5_000.0], "SITA")),
+    ];
+    for policy in policies.iter_mut() {
+        let fast = simulate_dispatch(&trace, 2, policy.as_mut(), 7, records_cfg());
+        let event = EventEngine::new(2, records_cfg()).run_dispatch(&trace, policy.as_mut(), 7);
+        let fr = fast.records.unwrap();
+        let er = event.records.unwrap();
+        assert_response_equivalence(&fr, &er, 0.0);
+        // host assignments must agree too for identical RNG streams
+        let mut fr2 = fr.clone();
+        let mut er2 = er.clone();
+        fr2.sort_by_key(|r| r.id);
+        er2.sort_by_key(|r| r.id);
+        assert_eq!(fr2, er2, "policy {}", policy.name());
+    }
+}
+
+#[test]
+fn lwl_is_equivalent_to_central_queue_per_job() {
+    // the theorem from [11], checked job-for-job on a heavy trace
+    for seed in [1u64, 2, 3] {
+        let trace = c90_trace(10_000, 0.85, seed);
+        let mut lwl = LeastWorkLeft;
+        let a = simulate_dispatch(&trace, 2, &mut lwl, 0, records_cfg());
+        let b = EventEngine::new(2, records_cfg()).run_central_queue(&trace, QueueDiscipline::Fcfs);
+        assert_response_equivalence(
+            a.records.as_ref().unwrap(),
+            b.records.as_ref().unwrap(),
+            1e-9,
+        );
+    }
+}
+
+#[test]
+fn invariants_hold_for_all_policies() {
+    let trace = c90_trace(5_000, 0.9, 11);
+    let mut policies: Vec<Box<dyn Dispatcher>> = vec![
+        Box::new(RandomPolicy),
+        Box::new(LeastWorkLeft),
+        Box::new(SizeInterval::new(vec![2_000.0], "SITA")),
+    ];
+    for policy in policies.iter_mut() {
+        let r = simulate_dispatch(&trace, 2, policy.as_mut(), 3, records_cfg());
+        let recs = r.records.unwrap();
+        assert!(fcfs_order_respected(&recs), "{}", policy.name());
+        assert!(service_is_exclusive_and_exact(&recs), "{}", policy.name());
+        assert!(recs.iter().all(|rec| rec.slowdown() >= 1.0 - 1e-9));
+        // work conservation
+        let served: f64 = r.per_host.iter().map(|h| h.work).sum();
+        let offered: f64 = trace.sizes().iter().sum();
+        assert!((served - offered).abs() < 1e-6 * offered);
+    }
+}
+
+#[test]
+fn simulation_matches_mm1_theory() {
+    // M/M/1 at rho = 0.6: E[W] = rho/(mu(1-rho)) = 1.5
+    let size = Exponential::new(1.0).unwrap();
+    let trace = WorkloadBuilder::new(size)
+        .jobs(400_000)
+        .poisson_load(0.6, 1)
+        .seed(13)
+        .build();
+    // single host: LWL trivially routes everything to host 0
+    let mut lwl = LeastWorkLeft;
+    let r = simulate_dispatch(&trace, 1, &mut lwl, 0, MetricsConfig {
+        warmup_jobs: 10_000,
+        ..MetricsConfig::default()
+    });
+    assert!(
+        (r.waiting.mean - 1.5).abs() < 0.12,
+        "E[W] = {} vs theory 1.5",
+        r.waiting.mean
+    );
+}
+
+#[test]
+fn simulation_matches_mg1_pollaczek_khinchine() {
+    // M/G/1 with a moderately variable size distribution
+    let size = HyperExponential::fit_mean_scv(2.0, 4.0).unwrap();
+    let lambda = 0.35; // rho = 0.7
+    let q = Mg1::new(lambda, ServiceMoments::of(&size));
+    let trace = WorkloadBuilder::new(size)
+        .jobs(600_000)
+        .poisson_load(0.7, 1)
+        .seed(17)
+        .build();
+    let mut lwl = LeastWorkLeft;
+    let r = simulate_dispatch(&trace, 1, &mut lwl, 0, MetricsConfig {
+        warmup_jobs: 20_000,
+        ..MetricsConfig::default()
+    });
+    let theory = q.mean_waiting();
+    assert!(
+        (r.waiting.mean - theory).abs() / theory < 0.1,
+        "E[W] = {} vs PK {}",
+        r.waiting.mean,
+        theory
+    );
+}
+
+#[test]
+fn random_on_two_hosts_is_two_mg1s() {
+    // Bernoulli split of a Poisson stream: each host an M/G/1 at lambda/2
+    let size = HyperExponential::fit_mean_scv(1.0, 6.0).unwrap();
+    let trace = WorkloadBuilder::new(size.clone())
+        .jobs(600_000)
+        .poisson_load(0.6, 2)
+        .seed(19)
+        .build();
+    let mut random = RandomPolicy;
+    let r = simulate_dispatch(&trace, 2, &mut random, 5, MetricsConfig {
+        warmup_jobs: 20_000,
+        ..MetricsConfig::default()
+    });
+    let lambda_host = trace.arrival_rate() / 2.0;
+    let theory = Mg1::new(lambda_host, ServiceMoments::of(&size)).mean_waiting();
+    assert!(
+        (r.waiting.mean - theory).abs() / theory < 0.1,
+        "E[W] = {} vs M/G/1 {}",
+        r.waiting.mean,
+        theory
+    );
+}
+
+#[test]
+fn sita_analysis_matches_sita_simulation() {
+    // per-host M/G/1 analysis of SITA vs the simulator, C90 workload
+    let preset = dses_workload::psc_c90();
+    let d = preset.size_dist.clone();
+    let rho = 0.6;
+    let trace = preset.trace(400_000, rho, 2, 23);
+    let lambda = trace.arrival_rate();
+    let cutoff = dses_queueing::cutoff::sita_e_cutoffs(&d, 2).unwrap()[0];
+    let analysis = dses_queueing::sita::SitaAnalysis::analyze(&d, lambda, &[cutoff]);
+    let mut policy = SizeInterval::new(vec![cutoff], "SITA-E");
+    let r = simulate_dispatch(&trace, 2, &mut policy, 0, MetricsConfig {
+        warmup_jobs: 20_000,
+        ..MetricsConfig::default()
+    });
+    let sim = r.queueing_slowdown.mean;
+    let theory = analysis.mean_queueing_slowdown;
+    assert!(
+        (sim - theory).abs() / theory < 0.35,
+        "simulated E[W/X] = {sim} vs analysis {theory}"
+    );
+}
+
+#[test]
+fn deterministic_replay_across_engines_and_seeds() {
+    let trace = c90_trace(3_000, 0.5, 31);
+    let mut p1 = RandomPolicy;
+    let mut p2 = RandomPolicy;
+    let a = simulate_dispatch(&trace, 2, &mut p1, 99, records_cfg());
+    let b = simulate_dispatch(&trace, 2, &mut p2, 99, records_cfg());
+    assert_eq!(a.records.unwrap(), b.records.unwrap());
+    // different seed → different random assignment
+    let mut p3 = RandomPolicy;
+    let c = simulate_dispatch(&trace, 2, &mut p3, 100, records_cfg());
+    assert_ne!(a.slowdown, c.slowdown);
+}
+
+#[test]
+fn engines_agree_under_heterogeneous_speeds() {
+    use dses_sim::simulate_dispatch_speeds;
+    let trace = c90_trace(6_000, 0.7, 77);
+    let speeds = vec![0.5, 1.5];
+    let mut p1 = LeastWorkLeft;
+    let mut p2 = LeastWorkLeft;
+    let fast = simulate_dispatch_speeds(&trace, &speeds, &mut p1, 9, records_cfg());
+    let event = EventEngine::with_speeds(speeds, records_cfg()).run_dispatch(&trace, &mut p2, 9);
+    let mut fr = fast.records.unwrap();
+    let mut er = event.records.unwrap();
+    fr.sort_by_key(|r| r.id);
+    er.sort_by_key(|r| r.id);
+    assert_eq!(fr, er);
+}
+
+#[test]
+fn hetero_sita_analysis_matches_hetero_simulation() {
+    use dses_queueing::hetero::{analyze_hetero, hetero_opt_cutoff};
+    use dses_sim::simulate_dispatch_speeds;
+    let preset = dses_workload::psc_c90();
+    let d = preset.size_dist.clone();
+    let trace = preset.trace(300_000, 0.6, 2, 5);
+    let lambda = trace.arrival_rate();
+    let speeds = [0.5, 1.5];
+    let cutoff = hetero_opt_cutoff(&d, lambda, speeds).unwrap();
+    let analytic = analyze_hetero(&d, lambda, &[cutoff], &speeds);
+    let mut policy = SizeInterval::new(vec![cutoff], "hetero-SITA");
+    let sim = simulate_dispatch_speeds(&trace, &speeds, &mut policy, 0, MetricsConfig {
+        warmup_jobs: 10_000,
+        ..MetricsConfig::default()
+    });
+    let rel = (sim.slowdown.mean - analytic.mean_slowdown).abs() / analytic.mean_slowdown;
+    assert!(
+        rel < 0.35,
+        "simulated {} vs analytic {}",
+        sim.slowdown.mean,
+        analytic.mean_slowdown
+    );
+}
+
+#[test]
+fn transform_inversion_matches_simulated_waiting_distribution() {
+    use dses_queueing::transform::mg1_waiting_cdf;
+    // M/G/1 with hyperexponential service: no closed-form CDF, so this
+    // pits the Abate–Whitt inversion against the simulator directly.
+    let size = HyperExponential::fit_mean_scv(1.0, 4.0).unwrap();
+    let lambda = 0.6;
+    let trace = WorkloadBuilder::new(size.clone())
+        .jobs(400_000)
+        .poisson_load(0.6, 1)
+        .seed(41)
+        .build();
+    let mut lwl = LeastWorkLeft;
+    let r = simulate_dispatch(&trace, 1, &mut lwl, 0, MetricsConfig {
+        collect_records: true,
+        warmup_jobs: 20_000,
+        ..MetricsConfig::default()
+    });
+    let waits: Vec<f64> = r.records.unwrap().iter().map(|rec| rec.waiting()).collect();
+    let n = waits.len() as f64;
+    for t in [0.5, 2.0, 8.0] {
+        let empirical = waits.iter().filter(|&&w| w <= t).count() as f64 / n;
+        let analytic = mg1_waiting_cdf(&size, lambda, t);
+        assert!(
+            (empirical - analytic).abs() < 0.02,
+            "t={t}: empirical {empirical} vs inverted transform {analytic}"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's quantitative claims (§1.4, §3.3, §4), verified in
+//! simulation at reduced scale. Tolerances are wide — our substrate is a
+//! calibrated synthetic workload, not the authors' trace — but every
+//! *ordering* and rough *factor* the paper reports must hold.
+
+use dses_core::prelude::*;
+
+fn experiment(jobs: usize, seed: u64) -> Experiment<Mixture> {
+    let preset = dses_workload::psc_c90();
+    Experiment::new(preset.size_dist.clone())
+        .hosts(2)
+        .jobs(jobs)
+        .warmup_jobs(1_000)
+        .seed(seed)
+}
+
+/// §1.4: "Random and Least-Work-Left differ by a factor of 2–10
+/// (depending on load) with respect to mean slowdown".
+#[test]
+fn random_vs_lwl_factor() {
+    let e = experiment(40_000, 1);
+    for rho in [0.3, 0.5, 0.7] {
+        let random = e.run(&PolicySpec::Random, rho).queueing_slowdown.mean;
+        let lwl = e.run(&PolicySpec::LeastWorkLeft, rho).queueing_slowdown.mean;
+        let factor = random / lwl;
+        assert!(
+            factor > 1.5 && factor < 40.0,
+            "rho={rho}: Random/LWL factor {factor}"
+        );
+    }
+}
+
+/// §1.4: "Random and SITA-E differ by a factor of 6–10 with respect to
+/// mean slowdown and by several orders of magnitude with respect to
+/// variance in slowdown."
+#[test]
+fn random_vs_sita_e_factors() {
+    let e = experiment(40_000, 2);
+    for rho in [0.5, 0.7] {
+        let random = e.run(&PolicySpec::Random, rho);
+        let sita = e.run(&PolicySpec::SitaE, rho);
+        let mean_factor = random.queueing_slowdown.mean / sita.queueing_slowdown.mean;
+        let var_factor = random.slowdown.variance / sita.slowdown.variance;
+        assert!(mean_factor > 3.0, "rho={rho}: mean factor {mean_factor}");
+        assert!(var_factor > 20.0, "rho={rho}: var factor {var_factor}");
+    }
+}
+
+/// §1.4: "The performance of the load unbalancing policy improves upon
+/// the best of those policies which balance load by more than an order
+/// of magnitude with respect to mean slowdown and variance in slowdown"
+/// — over the interesting load range.
+#[test]
+fn sita_u_improves_on_sita_e_by_an_order_of_magnitude() {
+    let e = experiment(60_000, 3);
+    let mut max_mean_factor: f64 = 0.0;
+    let mut max_var_factor: f64 = 0.0;
+    for rho in [0.3, 0.5, 0.7] {
+        let sita_e = e.run(&PolicySpec::SitaE, rho);
+        let fair = e.run(&PolicySpec::SitaUFair, rho);
+        max_mean_factor =
+            max_mean_factor.max(sita_e.queueing_slowdown.mean / fair.queueing_slowdown.mean);
+        max_var_factor = max_var_factor.max(sita_e.slowdown.variance / fair.slowdown.variance);
+        // at every load the unbalanced policy must win clearly
+        assert!(
+            fair.queueing_slowdown.mean < sita_e.queueing_slowdown.mean / 2.0,
+            "rho={rho}"
+        );
+    }
+    assert!(max_mean_factor > 8.0, "best mean factor {max_mean_factor}");
+    assert!(max_var_factor > 10.0, "best var factor {max_var_factor}");
+}
+
+/// §4.2: "SITA-U-fair is only a slight bit worse than SITA-U-opt."
+#[test]
+fn fair_is_close_to_opt() {
+    let e = experiment(60_000, 4);
+    for rho in [0.5, 0.7, 0.9] {
+        let opt = e.run(&PolicySpec::SitaUOpt, rho).slowdown.mean;
+        let fair = e.run(&PolicySpec::SitaUFair, rho).slowdown.mean;
+        assert!(
+            fair < 3.0 * opt,
+            "rho={rho}: fair {fair} vs opt {opt}"
+        );
+    }
+}
+
+/// §4: under SITA-U-fair, short jobs and long jobs experience the same
+/// expected slowdown (within sampling noise).
+#[test]
+fn sita_u_fair_is_fair_between_classes() {
+    let e = experiment(120_000, 5);
+    let r = e.run(&PolicySpec::SitaUFair, 0.7);
+    let short = r.short_slowdown.expect("split collected").mean;
+    let long = r.long_slowdown.expect("split collected").mean;
+    let ratio = (short / long).max(long / short);
+    assert!(
+        ratio < 2.5,
+        "class slowdowns differ: short {short}, long {long}"
+    );
+    // contrast: SITA-E is badly unfair to one class
+    let re = e.run(&PolicySpec::SitaE, 0.7);
+    let short_e = re.short_slowdown.unwrap().mean;
+    let long_e = re.long_slowdown.unwrap().mean;
+    let ratio_e = (short_e / long_e).max(long_e / short_e);
+    assert!(ratio_e > ratio, "SITA-E ratio {ratio_e} vs fair ratio {ratio}");
+}
+
+/// §3.3: under SITA-E on the C90 workload, ~98.7% of jobs go to Host 1.
+#[test]
+fn sita_e_routes_nearly_all_jobs_to_host_one() {
+    let e = experiment(60_000, 6);
+    let r = e.run(&PolicySpec::SitaE, 0.7);
+    let frac = r.job_fraction(0);
+    assert!(
+        frac > 0.95 && frac < 0.999,
+        "job fraction to host 1: {frac} (paper: 0.987)"
+    );
+    // while the *load* split is (by construction) one half
+    assert!((r.load_fraction(0) - 0.5).abs() < 0.1);
+}
+
+/// §4.4: the rule-of-thumb cutoff performs within ~10% of optimal
+/// (we allow 2x at reduced sample sizes — the claim is "close").
+#[test]
+fn rule_of_thumb_is_close_to_optimal() {
+    let e = experiment(60_000, 7);
+    for rho in [0.5, 0.7] {
+        let opt = e.run(&PolicySpec::SitaUOpt, rho).queueing_slowdown.mean;
+        let rot = e.run(&PolicySpec::SitaRuleOfThumb, rho).queueing_slowdown.mean;
+        assert!(
+            rot < 2.5 * opt,
+            "rho={rho}: rule-of-thumb {rot} vs opt {opt}"
+        );
+    }
+}
+
+/// §5: for a large number of hosts, Least-Work-Left catches up with the
+/// grouped SITA policies (the advantage shrinks with host count).
+#[test]
+fn lwl_catches_up_at_many_hosts() {
+    use dses_core::cutoffs::CutoffMethod;
+    let preset = dses_workload::psc_c90();
+    let rho = 0.7;
+    let mut advantage = Vec::new();
+    for hosts in [4usize, 32] {
+        let e = Experiment::new(preset.size_dist.clone())
+            .hosts(hosts)
+            .jobs(5_000 * hosts)
+            .warmup_jobs(1_000)
+            .seed(8);
+        let lwl = e.run(&PolicySpec::LeastWorkLeft, rho).queueing_slowdown.mean;
+        let grouped = e
+            .run(&PolicySpec::Grouped { method: CutoffMethod::Fair }, rho)
+            .queueing_slowdown
+            .mean;
+        advantage.push(lwl / grouped);
+    }
+    assert!(
+        advantage[1] < advantage[0],
+        "SITA advantage should shrink with hosts: {advantage:?}"
+    );
+}
+
+/// §6: under bursty arrivals, Least-Work-Left *catches up* with the
+/// SITA-U policies as load rises, because it alone smooths
+/// arrival-process variability. (The paper's trace arrivals produce an
+/// outright crossover above ρ ≈ 0.95; with our MMPP stand-in the gap
+/// shrinks monotonically but SITA-U keeps a small edge — the trend is
+/// the reproducible part, see EXPERIMENTS.md.)
+#[test]
+fn bursty_high_load_closes_the_gap_toward_lwl() {
+    let preset = dses_workload::psc_c90();
+    let e = Experiment::new(preset.size_dist.clone())
+        .hosts(2)
+        .jobs(60_000)
+        .warmup_jobs(1_000)
+        .seed(9);
+    let ratio_at = |rho: f64| -> f64 {
+        let rate = 2.0 * rho / preset.size_dist.mean();
+        let bursty = WorkloadBuilder::new(preset.size_dist.clone())
+            .jobs(60_000)
+            .arrivals(dses_workload::Mmpp2::bursty(rate, 30.0, 100.0))
+            .seed(9)
+            .build();
+        let lwl = e
+            .try_run_on_trace(&PolicySpec::LeastWorkLeft, &bursty)
+            .unwrap()
+            .slowdown
+            .mean;
+        let fair = e
+            .try_run_on_trace(&PolicySpec::SitaUFair, &bursty)
+            .unwrap()
+            .slowdown
+            .mean;
+        lwl / fair
+    };
+    let moderate = ratio_at(0.7);
+    let extreme = ratio_at(0.97);
+    assert!(
+        extreme < moderate,
+        "LWL should close the gap as bursty load rises: ratio {moderate} at 0.7 vs {extreme} at 0.97"
+    );
+    assert!(
+        extreme < 4.0,
+        "at bursty rho=0.97 the policies should be within a small factor, got {extreme}"
+    );
+}
+
+/// §8 discussion: favouring short jobs (SJF) gives excellent mean
+/// slowdown — SITA-U-fair approaches it while staying fair.
+#[test]
+fn sjf_extension_has_low_mean_slowdown() {
+    let e = experiment(40_000, 10);
+    let sjf = e.run(&PolicySpec::CentralSjf, 0.7).slowdown.mean;
+    let lwl = e.run(&PolicySpec::LeastWorkLeft, 0.7).slowdown.mean;
+    assert!(sjf < lwl, "SJF {sjf} vs LWL (FCFS central) {lwl}");
+}
