@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, lint-clean clippy.
+# Run from the repository root. Any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "ci: all checks passed"

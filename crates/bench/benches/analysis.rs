@@ -2,82 +2,59 @@
 //! cutoff search) and the per-policy analytic predictions behind
 //! Figures 8–9, plus the partial-moment primitives they lean on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dses_bench::harness::Bench;
 use dses_dist::prelude::*;
 use dses_queueing::policies::{analyze_policy, AnalyticPolicy};
 use dses_queueing::sita::SitaAnalysis;
 use dses_queueing::ServiceMoments;
-use std::hint::black_box;
 
 fn c90() -> Mixture {
     dses_workload::psc_c90().size_dist
 }
 
-fn bench_partial_moments(c: &mut Criterion) {
+fn bench_partial_moments() {
     let mix = c90();
     let bp = BoundedPareto::new(60.0, 2.22e6, 1.0).unwrap();
     let ln = LogNormal::fit_mean_scv(4562.0, 43.0).unwrap();
-    let mut group = c.benchmark_group("partial_moments");
-    group.bench_function("bounded_pareto_closed_form", |b| {
-        b.iter(|| black_box(bp.partial_moment(2, 100.0, 1.0e5)))
-    });
-    group.bench_function("body_tail_mixture", |b| {
-        b.iter(|| black_box(mix.partial_moment(2, 100.0, 1.0e5)))
-    });
-    group.bench_function("lognormal_closed_form", |b| {
-        b.iter(|| black_box(ln.partial_moment(2, 100.0, 1.0e5)))
-    });
-    group.finish();
+    let mut group = Bench::new("partial_moments");
+    group.run("bounded_pareto_closed_form", || bp.partial_moment(2, 100.0, 1.0e5));
+    group.run("body_tail_mixture", || mix.partial_moment(2, 100.0, 1.0e5));
+    group.run("lognormal_closed_form", || ln.partial_moment(2, 100.0, 1.0e5));
 }
 
-fn bench_sita_analysis(c: &mut Criterion) {
+fn bench_sita_analysis() {
     let d = c90();
     let lambda = 1.4 / d.mean();
-    let mut group = c.benchmark_group("sita_analysis");
-    group.bench_function("two_hosts", |b| {
-        b.iter(|| black_box(SitaAnalysis::analyze(&d, lambda, &[10_000.0])))
-    });
-    group.bench_function("eight_hosts", |b| {
-        let cutoffs = [500.0, 2_000.0, 8_000.0, 30_000.0, 100_000.0, 300_000.0, 900_000.0];
-        b.iter(|| black_box(SitaAnalysis::analyze(&d, 4.0 * lambda, &cutoffs)))
-    });
-    group.finish();
+    let mut group = Bench::new("sita_analysis");
+    group.run("two_hosts", || SitaAnalysis::analyze(&d, lambda, &[10_000.0]));
+    let cutoffs = [500.0, 2_000.0, 8_000.0, 30_000.0, 100_000.0, 300_000.0, 900_000.0];
+    group.run("eight_hosts", || SitaAnalysis::analyze(&d, 4.0 * lambda, &cutoffs));
 }
 
-fn bench_policy_analysis(c: &mut Criterion) {
+fn bench_policy_analysis() {
     let d = c90();
     let lambda = 1.4 / d.mean();
-    let mut group = c.benchmark_group("analyze_policy");
+    let mut group = Bench::new("analyze_policy");
     for policy in [
         AnalyticPolicy::Random,
         AnalyticPolicy::LeastWorkLeft,
         AnalyticPolicy::SitaE,
         AnalyticPolicy::SitaUFair,
     ] {
-        group.bench_function(policy.name(), |b| {
-            b.iter(|| black_box(analyze_policy(policy, &d, lambda, 2).unwrap()))
-        });
+        group.run(policy.name(), || analyze_policy(policy, &d, lambda, 2).unwrap());
     }
-    group.finish();
 }
 
-fn bench_service_moments(c: &mut Criterion) {
+fn bench_service_moments() {
     let d = c90();
-    let mut group = c.benchmark_group("service_moments");
-    group.bench_function("full_support", |b| {
-        b.iter(|| black_box(ServiceMoments::of(&d)))
-    });
-    group.bench_function("interval", |b| {
-        b.iter(|| black_box(ServiceMoments::of_interval(&d, 100.0, 50_000.0)))
-    });
-    group.finish();
+    let mut group = Bench::new("service_moments");
+    group.run("full_support", || ServiceMoments::of(&d));
+    group.run("interval", || ServiceMoments::of_interval(&d, 100.0, 50_000.0));
 }
 
-criterion_group!(
-    benches,
-    bench_partial_moments,
-    bench_sita_analysis,
-    bench_policy_analysis,
-    bench_service_moments
-);
-criterion_main!(benches);
+fn main() {
+    bench_partial_moments();
+    bench_sita_analysis();
+    bench_policy_analysis();
+    bench_service_moments();
+}

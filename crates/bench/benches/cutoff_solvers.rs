@@ -4,75 +4,51 @@
 //! measure the analytic solvers on closed-form and empirical
 //! distributions, and the simulation-based experimental search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dses_bench::harness::Bench;
 use dses_core::cutoffs::{experimental_cutoff, CutoffMethod};
 use dses_dist::prelude::*;
 use dses_queueing::cutoff::{sita_e_cutoffs, sita_u_fair_cutoff, sita_u_opt_cutoff};
-use std::hint::black_box;
 
 fn c90() -> Mixture {
     dses_workload::psc_c90().size_dist
 }
 
-fn bench_analytic_solvers(c: &mut Criterion) {
+fn bench_analytic_solvers() {
     let d = c90();
     let lambda = 1.4 / d.mean(); // rho = 0.7 on 2 hosts
-    let mut group = c.benchmark_group("analytic_cutoffs");
-    group.bench_function("sita_e_2", |b| {
-        b.iter(|| black_box(sita_e_cutoffs(&d, 2).unwrap()))
-    });
-    group.bench_function("sita_e_8", |b| {
-        b.iter(|| black_box(sita_e_cutoffs(&d, 8).unwrap()))
-    });
-    group.bench_function("sita_u_opt", |b| {
-        b.iter(|| black_box(sita_u_opt_cutoff(&d, lambda).unwrap()))
-    });
-    group.bench_function("sita_u_fair", |b| {
-        b.iter(|| black_box(sita_u_fair_cutoff(&d, lambda).unwrap()))
-    });
-    group.finish();
+    let mut group = Bench::new("analytic_cutoffs");
+    group.run("sita_e_2", || sita_e_cutoffs(&d, 2).unwrap());
+    group.run("sita_e_8", || sita_e_cutoffs(&d, 8).unwrap());
+    group.run("sita_u_opt", || sita_u_opt_cutoff(&d, lambda).unwrap());
+    group.run("sita_u_fair", || sita_u_fair_cutoff(&d, lambda).unwrap());
 }
 
-fn bench_empirical_solvers(c: &mut Criterion) {
+fn bench_empirical_solvers() {
     // the paper's experimental method: cutoffs from trace data
     let d = c90();
     let mut rng = Rng64::seed_from(3);
     let sample: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
     let emp = Empirical::from_values(&sample).unwrap();
     let lambda = 1.4 / emp.mean();
-    let mut group = c.benchmark_group("empirical_cutoffs");
-    group.bench_function("sita_u_opt_empirical_50k", |b| {
-        b.iter(|| black_box(sita_u_opt_cutoff(&emp, lambda).unwrap()))
+    let mut group = Bench::new("empirical_cutoffs");
+    group.run("sita_u_opt_empirical_50k", || {
+        sita_u_opt_cutoff(&emp, lambda).unwrap()
     });
-    group.finish();
 }
 
-fn bench_experimental_search(c: &mut Criterion) {
+fn bench_experimental_search() {
     let preset = dses_workload::psc_c90();
     let training = preset.trace(5_000, 0.7, 2, 5);
-    let mut group = c.benchmark_group("experimental_cutoffs");
-    group.sample_size(10);
+    let mut group = Bench::new("experimental_cutoffs");
     for grid in [10usize, 20] {
-        group.bench_with_input(
-            BenchmarkId::new("sim_search_opt", grid),
-            &grid,
-            |b, &grid| {
-                b.iter(|| {
-                    black_box(
-                        experimental_cutoff(&training, CutoffMethod::OptSlowdown, grid, 0)
-                            .unwrap(),
-                    )
-                })
-            },
-        );
+        group.run(&format!("sim_search_opt/{grid}"), || {
+            experimental_cutoff(&training, CutoffMethod::OptSlowdown, grid, 0).unwrap()
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_analytic_solvers,
-    bench_empirical_solvers,
-    bench_experimental_search
-);
-criterion_main!(benches);
+fn main() {
+    bench_analytic_solvers();
+    bench_empirical_solvers();
+    bench_experimental_search();
+}

@@ -3,76 +3,60 @@
 //! exhibit sweeps (dozens of policy × load × workload points, 200k jobs
 //! each) regenerate in seconds; this bench quantifies the gap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dses_bench::harness::Bench;
 use dses_core::policies::LeastWorkLeft;
 use dses_sim::{simulate_dispatch, EventEngine, MetricsConfig, QueueDiscipline};
 use dses_workload::Trace;
-use std::hint::black_box;
 
 fn trace(jobs: usize, hosts: usize) -> Trace {
     dses_workload::psc_c90().trace(jobs, 0.7, hosts, 7)
 }
 
-fn bench_engines(c: &mut Criterion) {
+fn bench_engines() {
     let jobs = 20_000;
-    let mut group = c.benchmark_group("engine");
-    group.throughput(Throughput::Elements(jobs as u64));
+    let mut group = Bench::new("engine");
     for hosts in [2usize, 8, 32] {
         let t = trace(jobs, hosts);
-        group.bench_with_input(BenchmarkId::new("fast_lwl", hosts), &t, |b, t| {
-            b.iter(|| {
-                let mut p = LeastWorkLeft;
-                black_box(simulate_dispatch(t, hosts, &mut p, 0, MetricsConfig::default()))
-            })
+        group.run_with_elements(&format!("fast_lwl/{hosts}"), jobs as u64, || {
+            let mut p = LeastWorkLeft;
+            simulate_dispatch(&t, hosts, &mut p, 0, MetricsConfig::default())
         });
-        group.bench_with_input(BenchmarkId::new("event_lwl", hosts), &t, |b, t| {
-            b.iter(|| {
-                let mut p = LeastWorkLeft;
-                black_box(EventEngine::new(hosts, MetricsConfig::default()).run_dispatch(t, &mut p, 0))
-            })
+        group.run_with_elements(&format!("event_lwl/{hosts}"), jobs as u64, || {
+            let mut p = LeastWorkLeft;
+            EventEngine::new(hosts, MetricsConfig::default()).run_dispatch(&t, &mut p, 0)
         });
-        group.bench_with_input(BenchmarkId::new("event_central_queue", hosts), &t, |b, t| {
-            b.iter(|| {
-                black_box(
-                    EventEngine::new(hosts, MetricsConfig::default())
-                        .run_central_queue(t, QueueDiscipline::Fcfs),
-                )
-            })
+        group.run_with_elements(&format!("event_central_queue/{hosts}"), jobs as u64, || {
+            EventEngine::new(hosts, MetricsConfig::default())
+                .run_central_queue(&t, QueueDiscipline::Fcfs)
         });
     }
-    group.finish();
 }
 
-fn bench_metrics_overhead(c: &mut Criterion) {
+fn bench_metrics_overhead() {
     let jobs = 20_000;
     let t = trace(jobs, 2);
-    let mut group = c.benchmark_group("metrics_overhead");
-    group.throughput(Throughput::Elements(jobs as u64));
-    group.bench_function("bare", |b| {
-        b.iter(|| {
-            let mut p = LeastWorkLeft;
-            black_box(simulate_dispatch(&t, 2, &mut p, 0, MetricsConfig::default()))
-        })
+    let mut group = Bench::new("metrics_overhead");
+    group.run_with_elements("streaming", jobs as u64, || {
+        let mut p = LeastWorkLeft;
+        simulate_dispatch(&t, 2, &mut p, 0, MetricsConfig::streaming())
     });
-    group.bench_function("records_fairness_split", |b| {
-        b.iter(|| {
-            let mut p = LeastWorkLeft;
-            black_box(simulate_dispatch(
-                &t,
-                2,
-                &mut p,
-                0,
-                MetricsConfig {
-                    collect_records: true,
-                    fairness_bins: 12,
-                    split_cutoff: Some(1_000.0),
-                    ..MetricsConfig::default()
-                },
-            ))
-        })
+    group.run_with_elements("records_fairness_split", jobs as u64, || {
+        let mut p = LeastWorkLeft;
+        simulate_dispatch(
+            &t,
+            2,
+            &mut p,
+            0,
+            MetricsConfig {
+                fairness_bins: 12,
+                split_cutoff: Some(1_000.0),
+                ..MetricsConfig::full_records()
+            },
+        )
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_metrics_overhead);
-criterion_main!(benches);
+fn main() {
+    bench_engines();
+    bench_metrics_overhead();
+}

@@ -2,19 +2,17 @@
 //! static policies, O(h) for the state-reading ones — this bench keeps
 //! that honest across the roster.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dses_bench::harness::Bench;
 use dses_core::policies::{
     GroupedSita, LeastWorkLeft, RandomPolicy, RoundRobin, ShortestQueue, SizeInterval,
 };
 use dses_sim::{simulate_dispatch, Dispatcher, MetricsConfig};
-use std::hint::black_box;
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies() {
     let jobs = 20_000;
     let hosts = 4;
     let trace = dses_workload::psc_c90().trace(jobs, 0.7, hosts, 13);
-    let mut group = c.benchmark_group("policy_dispatch");
-    group.throughput(Throughput::Elements(jobs as u64));
+    let mut group = Bench::new("policy_dispatch");
     let mut roster: Vec<(&str, Box<dyn Dispatcher>)> = vec![
         ("random", Box::new(RandomPolicy)),
         ("round_robin", Box::new(RoundRobin::default())),
@@ -30,46 +28,29 @@ fn bench_policies(c: &mut Criterion) {
         ),
     ];
     for (name, policy) in roster.iter_mut() {
-        group.bench_with_input(BenchmarkId::from_parameter(*name), &trace, |b, t| {
-            b.iter(|| {
-                black_box(simulate_dispatch(
-                    t,
-                    hosts,
-                    policy.as_mut(),
-                    0,
-                    MetricsConfig::default(),
-                ))
-            })
+        group.run_with_elements(name, jobs as u64, || {
+            simulate_dispatch(&trace, hosts, policy.as_mut(), 0, MetricsConfig::default())
         });
     }
-    group.finish();
 }
 
-fn bench_tags(c: &mut Criterion) {
+fn bench_tags() {
     let jobs = 20_000;
     let trace = dses_workload::psc_c90().trace(jobs, 0.7, 2, 17);
-    let mut group = c.benchmark_group("tags_cascade");
-    group.throughput(Throughput::Elements(jobs as u64));
-    group.bench_function("two_level", |b| {
-        b.iter(|| {
-            black_box(dses_core::policies::tags::simulate_tags(
-                &trace,
-                &[10_000.0],
-                MetricsConfig::default(),
-            ))
-        })
+    let mut group = Bench::new("tags_cascade");
+    group.run_with_elements("two_level", jobs as u64, || {
+        dses_core::policies::tags::simulate_tags(&trace, &[10_000.0], MetricsConfig::default())
     });
-    group.bench_function("four_level", |b| {
-        b.iter(|| {
-            black_box(dses_core::policies::tags::simulate_tags(
-                &trace,
-                &[1_000.0, 10_000.0, 100_000.0],
-                MetricsConfig::default(),
-            ))
-        })
+    group.run_with_elements("four_level", jobs as u64, || {
+        dses_core::policies::tags::simulate_tags(
+            &trace,
+            &[1_000.0, 10_000.0, 100_000.0],
+            MetricsConfig::default(),
+        )
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_tags);
-criterion_main!(benches);
+fn main() {
+    bench_policies();
+    bench_tags();
+}

@@ -1,0 +1,149 @@
+//! End-to-end performance report for the parallel sweep path.
+//!
+//! Times one fixed exhibit-style sweep grid (C90 workload, 2 hosts,
+//! 4 policies × 9 loads) sequentially (`threads = 1`) and in parallel
+//! (all cores), and measures peak heap allocation of a single run in
+//! streaming-metrics mode vs full-record mode. Results go to stdout and
+//! to `BENCH_parallel.json` in the current directory.
+//!
+//! Run with `cargo run --release -p dses-bench --bin perf_report`
+//! (release strongly recommended: the grid simulates ~1.4M jobs).
+
+use dses_bench::harness::{fmt_duration, fmt_rate};
+use dses_bench::load_grid;
+use dses_core::policies::LeastWorkLeft;
+use dses_core::prelude::*;
+use dses_sim::{available_workers, simulate_dispatch, MetricsConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A pass-through allocator that tracks live and peak heap bytes, so the
+/// streaming-vs-record comparison can report real allocation numbers
+/// without any external profiler.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let now = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Reset the peak-tracking watermark to the current live size, run `f`,
+/// and return the peak heap growth (bytes above the starting live size)
+/// observed while it ran.
+fn peak_heap_of<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let out = f();
+    let peak = PEAK.load(Ordering::Relaxed);
+    (out, peak.saturating_sub(base))
+}
+
+fn main() {
+    let preset = dses_workload::psc_c90();
+    let specs = [
+        PolicySpec::Random,
+        PolicySpec::LeastWorkLeft,
+        PolicySpec::SitaE,
+        PolicySpec::SitaUFair,
+    ];
+    let loads = load_grid();
+    let jobs_per_point = 40_000usize;
+    let total_jobs = (jobs_per_point * specs.len() * loads.len()) as u64;
+    let workers = available_workers();
+    let base = Experiment::new(preset.size_dist.clone())
+        .hosts(2)
+        .jobs(jobs_per_point)
+        .warmup_jobs(1_000)
+        .seed(1997);
+
+    println!("perf_report: {} policies x {} loads, {jobs_per_point} jobs/point, {workers} cores", specs.len(), loads.len());
+
+    let start = Instant::now();
+    let sequential = base.clone().threads(1).sweep_grid(&specs, &loads);
+    let seq_secs = start.elapsed().as_secs_f64();
+    println!("  sequential (1 thread):  {:>10}   {:>10}/s", fmt_duration(start.elapsed()), fmt_rate(total_jobs as f64 / seq_secs));
+
+    let start = Instant::now();
+    let parallel = base.clone().threads(0).sweep_grid(&specs, &loads);
+    let par_secs = start.elapsed().as_secs_f64();
+    println!("  parallel  ({workers} threads): {:>10}   {:>10}/s", fmt_duration(start.elapsed()), fmt_rate(total_jobs as f64 / par_secs));
+
+    // Bit-for-bit check, not just a timing: the parallel grid must be the
+    // sequential grid.
+    let identical = sequential
+        .iter()
+        .zip(&parallel)
+        .all(|(a, b)| {
+            a.policy == b.policy
+                && a.points.iter().zip(&b.points).all(|(x, y)| {
+                    x.mean_slowdown.to_bits() == y.mean_slowdown.to_bits()
+                        && x.var_slowdown.to_bits() == y.var_slowdown.to_bits()
+                        && x.measured == y.measured
+                })
+        });
+    let speedup = seq_secs / par_secs;
+    println!("  speedup {speedup:.2}x, results identical: {identical}");
+
+    // Streaming vs full-record metrics: same trace, same policy, measure
+    // peak heap growth of the run itself.
+    let trace = base.trace(0.7);
+    let (_, peak_streaming) = peak_heap_of(|| {
+        let mut p = LeastWorkLeft;
+        simulate_dispatch(&trace, 2, &mut p, 0, MetricsConfig::streaming())
+    });
+    let (_, peak_records) = peak_heap_of(|| {
+        let mut p = LeastWorkLeft;
+        simulate_dispatch(&trace, 2, &mut p, 0, MetricsConfig::full_records())
+    });
+    println!(
+        "  peak heap per run: streaming {} B, full records {} B ({:.1}x)",
+        peak_streaming,
+        peak_records,
+        peak_records as f64 / peak_streaming.max(1) as f64
+    );
+
+    let json = format!(
+        "{{\n  \"grid\": {{\"workload\": \"c90\", \"hosts\": 2, \"policies\": {}, \"loads\": {}, \"jobs_per_point\": {jobs_per_point}, \"total_jobs\": {total_jobs}}},\n  \"cores\": {workers},\n  \"sequential_secs\": {seq_secs:.4},\n  \"parallel_secs\": {par_secs:.4},\n  \"speedup\": {speedup:.3},\n  \"jobs_per_sec_sequential\": {:.0},\n  \"jobs_per_sec_parallel\": {:.0},\n  \"bit_identical\": {identical},\n  \"peak_heap_bytes_streaming\": {peak_streaming},\n  \"peak_heap_bytes_records\": {peak_records}\n}}\n",
+        specs.len(),
+        loads.len(),
+        total_jobs as f64 / seq_secs,
+        total_jobs as f64 / par_secs,
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+    if !identical {
+        eprintln!("ERROR: parallel sweep diverged from sequential");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,176 @@
+//! A small, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds offline, so the bench targets cannot pull in
+//! Criterion; this module provides the minimum that is still honest:
+//! warm-up, an auto-scaled iteration count targeting a fixed measurement
+//! window, and median-of-samples reporting (the median is robust to the
+//! occasional scheduler hiccup that wrecks a mean).
+//!
+//! Bench targets are plain `fn main()` programs (`harness = false`) that
+//! call [`Bench::run`] per case; run them with `cargo bench -p dses-bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Number of measurement samples per case.
+const SAMPLES: usize = 7;
+
+/// One timed case's result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// case label
+    pub name: String,
+    /// median time per iteration
+    pub per_iter: Duration,
+    /// elements processed per iteration (0 = unset)
+    pub elements: u64,
+}
+
+impl Measurement {
+    /// Elements processed per second, if `elements` was set.
+    #[must_use]
+    pub fn throughput(&self) -> Option<f64> {
+        (self.elements > 0).then(|| self.elements as f64 / self.per_iter.as_secs_f64())
+    }
+}
+
+/// A named group of timed cases, printed as they complete.
+pub struct Bench {
+    group: String,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// Start a bench group with the given display name.
+    #[must_use]
+    pub fn new(group: impl Into<String>) -> Self {
+        let group = group.into();
+        println!("\n== {group} ==");
+        Self { group, results: Vec::new() }
+    }
+
+    /// Time `f`, reporting per-iteration latency.
+    pub fn run<R>(&mut self, name: &str, f: impl FnMut() -> R) -> &Measurement {
+        self.run_with_elements(name, 0, f)
+    }
+
+    /// Time `f`, additionally reporting throughput over `elements`
+    /// processed per call (e.g. jobs simulated).
+    pub fn run_with_elements<R>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        mut f: impl FnMut() -> R,
+    ) -> &Measurement {
+        // Warm up and size the batch so one sample lasts ~SAMPLE_TARGET.
+        let mut iters: u64 = 1;
+        let per_iter_estimate = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET / 2 {
+                break elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+            }
+            iters = iters.saturating_mul(2);
+        };
+        let batch = (SAMPLE_TARGET.as_nanos() / per_iter_estimate.as_nanos().max(1))
+            .clamp(1, u128::from(u32::MAX)) as u32;
+        let mut samples: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed() / batch
+            })
+            .collect();
+        samples.sort_unstable();
+        let per_iter = samples[samples.len() / 2];
+        let m = Measurement { name: name.to_string(), per_iter, elements };
+        match m.throughput() {
+            Some(rate) => println!(
+                "{:<44} {:>14}/iter  {:>12}/s",
+                m.name,
+                fmt_duration(per_iter),
+                fmt_rate(rate)
+            ),
+            None => println!("{:<44} {:>14}/iter", m.name, fmt_duration(per_iter)),
+        }
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements taken so far, in run order.
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// The group display name.
+    #[must_use]
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+}
+
+/// Render a duration with a sensible unit (ns/µs/ms/s).
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Render an element rate with K/M/G suffixes.
+#[must_use]
+pub fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_all_unit_ranges() {
+        assert_eq!(fmt_duration(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(45)), "45.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_rate(12.3), "12.3");
+        assert_eq!(fmt_rate(4.2e4), "42.00 K");
+        assert_eq!(fmt_rate(7.5e6), "7.50 M");
+        assert_eq!(fmt_rate(1.1e9), "1.10 G");
+    }
+
+    #[test]
+    fn throughput_requires_elements() {
+        let with = Measurement {
+            name: "a".into(),
+            per_iter: Duration::from_millis(10),
+            elements: 1_000,
+        };
+        assert!((with.throughput().unwrap() - 100_000.0).abs() < 1e-6);
+        let without = Measurement { name: "b".into(), per_iter: Duration::from_millis(10), elements: 0 };
+        assert!(without.throughput().is_none());
+    }
+}

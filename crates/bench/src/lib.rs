@@ -1,13 +1,14 @@
-//! Shared plumbing for the paper-exhibit regenerators and Criterion
-//! benches.
+//! Shared plumbing for the paper-exhibit regenerators and micro-benches.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of
 //! Schroeder & Harchol-Balter (HPDC 2000); this library holds the common
-//! workload setup, load grids, and rendering helpers so every exhibit
-//! reports the same way.
+//! workload setup, load grids, rendering helpers, and a dependency-free
+//! timing harness ([`harness`]) so every exhibit reports the same way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use dses_core::prelude::*;
 use dses_core::report::{fmt_num, Table};
@@ -73,6 +74,11 @@ pub fn render_sweeps(title: &str, loads: &[f64], sweeps: &[LoadSweep]) -> String
 }
 
 /// Run the given policies over `loads` and render the figure.
+///
+/// Dispatches through [`Experiment::sweep_grid`]: traces are shared per
+/// load and the policy × load grid fans out over worker threads, but the
+/// rendered exhibit is bit-for-bit what the sequential per-policy sweeps
+/// produced.
 #[must_use]
 pub fn run_figure(
     title: &str,
@@ -80,7 +86,7 @@ pub fn run_figure(
     specs: &[PolicySpec],
     loads: &[f64],
 ) -> String {
-    let sweeps: Vec<LoadSweep> = specs.iter().map(|s| experiment.sweep(s, loads)).collect();
+    let sweeps = experiment.sweep_grid(specs, loads);
     render_sweeps(title, loads, &sweeps)
 }
 

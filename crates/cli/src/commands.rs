@@ -56,10 +56,13 @@ COMMANDS
   sweep      figure-style table over loads
       --policies a,b,c              (default random,lwl,sita-e,sita-u-fair)
       --loads lo:hi:step or a,b,c   (default 0.1:0.9:0.2)
+      --threads <n>                 worker threads; 0 = all cores (default 0)
+                                    results are identical for every n
       --workload, --hosts, --jobs, --seed as above
   replicate  multi-seed runs with ~95% confidence intervals
       --policies a,b,c              (default lwl,sita-e,sita-u-fair)
       --reps <n>                    (default 5)
+      --threads <n>                 worker threads; 0 = all cores (default 0)
       --workload, --load, --hosts, --jobs, --seed as above
   cutoff     solve SITA cutoffs
       --method equal-load|opt|fair|rot
@@ -109,6 +112,7 @@ fn experiment_from(args: &Args) -> Result<(Experiment<Mixture>, f64), ArgError> 
         .jobs(args.get_usize("jobs", 100_000)?)
         .warmup_jobs(args.get_usize("warmup", 1_000)?)
         .seed(args.get_u64("seed", 0)?)
+        .threads(args.get_usize("threads", 0)?)
         .fairness_bins(if args.has("fairness") { 12 } else { 0 })
         .percentiles(args.has("percentiles"));
     let experiment = match args.get("slo") {
@@ -217,25 +221,21 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
     let (experiment, _) = experiment_from(args)?;
     let specs = names::policy_list(args.get_or("policies", "random,lwl,sita-e,sita-u-fair"))?;
     let loads = args.get_loads("loads", &[0.1, 0.3, 0.5, 0.7, 0.9])?;
+    // The whole policy × load grid fans out over --threads workers with
+    // one shared trace per load; failed points carry NaN, which fmt_num
+    // renders as "-" exactly like the old per-run loop did.
+    let sweeps = experiment.sweep_grid(&specs, &loads);
     let mut headers = vec!["rho".to_string()];
     headers.extend(specs.iter().map(PolicySpec::name));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut mean_t = Table::new("mean slowdown", &headers_ref);
     let mut var_t = Table::new("variance of slowdown", &headers_ref);
-    for &rho in &loads {
+    for (i, &rho) in loads.iter().enumerate() {
         let mut mrow = vec![format!("{rho:.2}")];
         let mut vrow = vec![format!("{rho:.2}")];
-        for spec in &specs {
-            match experiment.try_run(spec, rho) {
-                Ok(r) => {
-                    mrow.push(fmt_num(r.slowdown.mean));
-                    vrow.push(fmt_num(r.slowdown.variance));
-                }
-                Err(_) => {
-                    mrow.push("-".into());
-                    vrow.push("-".into());
-                }
-            }
+        for s in &sweeps {
+            mrow.push(fmt_num(s.points[i].mean_slowdown));
+            vrow.push(fmt_num(s.points[i].var_slowdown));
         }
         mean_t.push_row(mrow);
         var_t.push_row(vrow);

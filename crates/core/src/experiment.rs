@@ -2,11 +2,13 @@
 //! the metrics the paper plots.
 
 use crate::spec::{BuiltPolicy, PolicySpec};
-use dses_dist::Distribution;
+use dses_dist::{derive_seed, Distribution};
 use dses_queueing::cutoff::CutoffError;
 use dses_queueing::policies::{analyze_policy, AnalyticMetrics, AnalyticPolicy};
+use dses_sim::par::{effective_workers, par_map, par_map_indexed};
 use dses_sim::{simulate_dispatch, EventEngine, MetricsConfig, SimResult};
 use dses_workload::{Trace, WorkloadBuilder};
+use std::sync::Arc;
 
 /// A configured experiment: a workload distribution plus simulation
 /// parameters. Cheap to clone; immutable once built.
@@ -20,6 +22,7 @@ pub struct Experiment<D: Distribution + Clone + 'static> {
     fairness_bins: usize,
     percentiles: bool,
     slo_slowdown: Option<f64>,
+    threads: Option<usize>,
 }
 
 impl<D: Distribution + Clone + 'static> Experiment<D> {
@@ -35,7 +38,23 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
             fairness_bins: 0,
             percentiles: false,
             slo_slowdown: None,
+            threads: None,
         }
+    }
+
+    /// Worker threads for grid entry points ([`Experiment::sweep_grid`],
+    /// [`Experiment::sweep`], [`Experiment::replicate`]). `0` restores
+    /// the default: one worker per available core. Results are
+    /// bit-for-bit identical for every setting — the thread count only
+    /// changes wall-clock time.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = (threads > 0).then_some(threads);
+        self
+    }
+
+    fn workers(&self) -> usize {
+        effective_workers(self.threads)
     }
 
     /// Number of hosts (default 2, the paper's primary configuration).
@@ -184,20 +203,49 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
         Ok(result)
     }
 
-    /// Simulate a whole load sweep.
+    /// Simulate a whole load sweep (a one-policy [`Experiment::sweep_grid`]).
     #[must_use]
     pub fn sweep(&self, spec: &PolicySpec, loads: &[f64]) -> LoadSweep {
-        let points = loads
-            .iter()
-            .map(|&rho| {
-                let result = self.try_run(spec, rho);
-                SweepPoint::from_result(rho, result.ok())
-            })
-            .collect();
-        LoadSweep {
-            policy: spec.name(),
-            points,
+        self.sweep_grid(std::slice::from_ref(spec), loads)
+            .pop()
+            .expect("one spec in, one sweep out")
+    }
+
+    /// Run the full `specs` × `loads` grid, fanned over
+    /// [`Experiment::threads`] workers.
+    ///
+    /// Each load's trace is generated **once** and shared read-only
+    /// (`Arc<Trace>`) by every policy — the trace depends only on
+    /// `(workload, rho, seed)`, not on the policy. Every grid point is a
+    /// pure function of `(spec, rho, seed)` and results are collected by
+    /// grid index, never completion order, so the output is bit-for-bit
+    /// identical to running [`Experiment::sweep`] per spec sequentially,
+    /// for any thread count.
+    #[must_use]
+    pub fn sweep_grid(&self, specs: &[PolicySpec], loads: &[f64]) -> Vec<LoadSweep> {
+        let workers = self.workers();
+        if loads.is_empty() {
+            return specs
+                .iter()
+                .map(|spec| LoadSweep { policy: spec.name(), points: Vec::new() })
+                .collect();
         }
+        // Phase 1: one trace per load, built in parallel, shared below.
+        let traces: Vec<Arc<Trace>> = par_map(loads, workers, |_, &rho| Arc::new(self.trace(rho)));
+        // Phase 2: the flat specs × loads grid of independent runs.
+        let grid = par_map_indexed(specs.len() * loads.len(), workers, |g| {
+            let (s, l) = (g / loads.len(), g % loads.len());
+            let result = self.try_run_on_trace(&specs[s], &traces[l]);
+            SweepPoint::from_result(loads[l], result.ok())
+        });
+        specs
+            .iter()
+            .zip(grid.chunks(loads.len()))
+            .map(|(spec, points)| LoadSweep {
+                policy: spec.name(),
+                points: points.to_vec(),
+            })
+            .collect()
     }
 
     /// Analytic prediction at target system load `rho` (Poisson).
@@ -248,8 +296,11 @@ impl Replicated {
 }
 
 impl<D: Distribution + Clone + 'static> Experiment<D> {
-    /// Run `replications` independent replications (seeds `seed`,
-    /// `seed+1`, …) and return the replicated mean-slowdown estimate.
+    /// Run `replications` independent replications (seed of replication
+    /// `r` is `derive_seed(seed, r)`) and return the replicated
+    /// mean-slowdown estimate. Replications fan out over
+    /// [`Experiment::threads`] workers; the estimate is bit-for-bit
+    /// identical for any thread count.
     ///
     /// Heavy-tailed slowdowns converge slowly within one run; independent
     /// replications give an honest confidence interval where batch means
@@ -262,11 +313,12 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
         replications: usize,
     ) -> Result<Replicated, CutoffError> {
         assert!(replications >= 1, "need at least one replication");
-        let mut samples = Vec::with_capacity(replications);
-        for r in 0..replications {
-            let clone = self.clone().seed(self.seed.wrapping_add(r as u64));
-            samples.push(clone.try_run(spec, rho)?.slowdown.mean);
-        }
+        let samples = par_map_indexed(replications, self.workers(), |r| {
+            let clone = self.clone().seed(derive_seed(self.seed, r as u64));
+            clone.try_run(spec, rho).map(|result| result.slowdown.mean)
+        })
+        .into_iter()
+        .collect::<Result<Vec<f64>, CutoffError>>()?;
         Ok(Replicated::from_samples(&samples))
     }
 }

@@ -67,7 +67,7 @@ pub use empirical::Empirical;
 pub use histogram::{Histogram, LogHistogram};
 pub use moments::{Moments, OnlineMoments};
 pub use quantile::{P2Quantile, QuantileSet};
-pub use rng::{Rng64, SplitMix64};
+pub use rng::{derive_seed, Rng64, SplitMix64};
 pub use summary::Summary;
 pub use traits::{DistError, Distribution};
 
@@ -81,7 +81,7 @@ pub mod prelude {
     pub use crate::histogram::{Histogram, LogHistogram};
     pub use crate::moments::{Moments, OnlineMoments};
     pub use crate::quantile::{P2Quantile, QuantileSet};
-    pub use crate::rng::{Rng64, SplitMix64};
+    pub use crate::rng::{derive_seed, Rng64, SplitMix64};
     pub use crate::summary::Summary;
     pub use crate::traits::{DistError, Distribution};
 }

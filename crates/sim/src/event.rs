@@ -46,7 +46,7 @@ impl Host {
     fn new(speed: f64) -> Self {
         Self {
             serving: None,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(16),
             free_at: 0.0,
             speed,
         }
@@ -133,8 +133,10 @@ impl EventEngine {
         policy.reset();
         let mut rng = Rng64::seed_from(seed).stream(0xD15);
         let mut hosts: Vec<Host> = self.speeds.iter().map(|&s| Host::new(s)).collect();
-        let mut departures: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
-        let mut collector = Collector::new(self.num_hosts(), self.cfg);
+        // at most one in-service job per host can sit in the heap
+        let mut departures: BinaryHeap<Reverse<(OrdF64, usize)>> =
+            BinaryHeap::with_capacity(self.num_hosts());
+        let mut collector = Collector::with_job_hint(self.num_hosts(), self.cfg, trace.len());
         let jobs = trace.jobs();
         let mut next = 0usize;
         let mut views = vec![
@@ -204,12 +206,14 @@ impl EventEngine {
     #[must_use]
     pub fn run_central_queue(&self, trace: &Trace, discipline: QueueDiscipline) -> SimResult {
         let mut hosts: Vec<Host> = self.speeds.iter().map(|&s| Host::new(s)).collect();
-        let mut departures: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
-        let mut collector = Collector::new(self.num_hosts(), self.cfg);
+        // at most one in-service job per host can sit in the heap
+        let mut departures: BinaryHeap<Reverse<(OrdF64, usize)>> =
+            BinaryHeap::with_capacity(self.num_hosts());
+        let mut collector = Collector::with_job_hint(self.num_hosts(), self.cfg, trace.len());
         // central waiting room
-        let mut fcfs: VecDeque<Job> = VecDeque::new();
+        let mut fcfs: VecDeque<Job> = VecDeque::with_capacity(64);
         // SJF: min-heap on (size, arrival sequence) — FCFS among equals
-        let mut sjf: BinaryHeap<Reverse<(OrdF64, u64)>> = BinaryHeap::new();
+        let mut sjf: BinaryHeap<Reverse<(OrdF64, u64)>> = BinaryHeap::with_capacity(64);
         let mut sjf_jobs: std::collections::HashMap<u64, Job> = std::collections::HashMap::new();
         let push_central = |job: Job, fcfs: &mut VecDeque<Job>, sjf: &mut BinaryHeap<Reverse<(OrdF64, u64)>>, sjf_jobs: &mut std::collections::HashMap<u64, Job>| match discipline {
             QueueDiscipline::Fcfs => fcfs.push_back(job),

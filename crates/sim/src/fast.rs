@@ -52,7 +52,9 @@ impl HostSim {
         Self {
             free_at: 0.0,
             speed,
-            completions: BinaryHeap::new(),
+            // jobs in system per host stay small except near saturation;
+            // 32 slots absorb the common case without reallocation
+            completions: BinaryHeap::with_capacity(32),
         }
     }
 
@@ -152,7 +154,7 @@ pub fn simulate_dispatch_speeds<P: Dispatcher + ?Sized>(
         };
         hosts
     ];
-    let mut collector = Collector::new(hosts, cfg);
+    let mut collector = Collector::with_job_hint(hosts, cfg, trace.len());
     for job in trace.jobs() {
         let now = job.arrival;
         for (v, hs) in views.iter_mut().zip(host_sims.iter_mut()) {

@@ -34,10 +34,12 @@
 pub mod event;
 pub mod fast;
 pub mod metrics;
+pub mod par;
 pub mod state;
 pub mod validate;
 
 pub use event::EventEngine;
 pub use fast::{simulate_dispatch, simulate_dispatch_speeds};
+pub use par::{available_workers, effective_workers, par_map, par_map_indexed};
 pub use metrics::{HostStats, JobRecord, MetricsConfig, SimResult};
 pub use state::{Dispatcher, HostView, QueueDiscipline, SystemState};

@@ -56,6 +56,18 @@ impl JobRecord {
 }
 
 /// What to collect during a run.
+///
+/// Two modes matter in practice:
+///
+/// * **streaming** (the default, [`MetricsConfig::streaming`]) — every
+///   aggregate is O(1) memory: Welford accumulators for the four moment
+///   sets, the log-binned fairness histogram (fixed bin count), and the
+///   P² percentile estimators. Nothing grows with the number of jobs, so
+///   sweeps over millions of jobs run allocation-free in the metrics
+///   layer. This is what `Experiment` sweeps and replications use.
+/// * **full-record** ([`MetricsConfig::full_records`]) — additionally
+///   buffers every [`JobRecord`] (48 B/job) for validation: engine
+///   cross-checks, schedule invariants, batch-means analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricsConfig {
     /// Skip this many leading jobs from aggregates (warm-up trim).
@@ -90,6 +102,32 @@ impl Default for MetricsConfig {
             slowdown_percentiles: false,
             slo_slowdown: None,
         }
+    }
+}
+
+impl MetricsConfig {
+    /// The zero-buffer streaming mode: constant memory regardless of how
+    /// many jobs a run processes. Identical to [`MetricsConfig::default`];
+    /// the name exists so call sites can state the intent.
+    #[must_use]
+    pub fn streaming() -> Self {
+        Self::default()
+    }
+
+    /// Full-record mode for validation: streaming aggregates plus a
+    /// buffered [`JobRecord`] per job.
+    #[must_use]
+    pub fn full_records() -> Self {
+        Self {
+            collect_records: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any per-job buffering happens (false ⇒ O(1) memory).
+    #[must_use]
+    pub fn buffers_records(&self) -> bool {
+        self.collect_records
     }
 }
 
@@ -207,6 +245,15 @@ impl Collector {
     /// Create a collector for `hosts` hosts.
     #[must_use]
     pub fn new(hosts: usize, cfg: MetricsConfig) -> Self {
+        Self::with_job_hint(hosts, cfg, 0)
+    }
+
+    /// Create a collector for `hosts` hosts, pre-sizing the record buffer
+    /// for `expected_jobs` completions (engines pass the trace length so
+    /// full-record runs never pay repeated reallocation; streaming mode
+    /// ignores the hint).
+    #[must_use]
+    pub fn with_job_hint(hosts: usize, cfg: MetricsConfig, expected_jobs: usize) -> Self {
         let fairness = (cfg.fairness_bins > 0).then(|| {
             let (lo, hi) = cfg.fairness_range;
             LogHistogram::new(lo, hi, cfg.fairness_bins)
@@ -225,7 +272,7 @@ impl Collector {
             long_slowdown: OnlineMoments::new(),
             percentiles: cfg.slowdown_percentiles.then(QuantileSet::default),
             slo_violations: 0,
-            records: cfg.collect_records.then(Vec::new),
+            records: cfg.collect_records.then(|| Vec::with_capacity(expected_jobs)),
         }
     }
 

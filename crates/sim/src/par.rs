@@ -1,0 +1,170 @@
+//! Deterministic parallel execution of independent simulation runs.
+//!
+//! Every paper exhibit is a grid — loads × policies × seeds — of runs
+//! that share no mutable state: each run is a pure function of its grid
+//! index (the trace is regenerated or shared read-only, the policy RNG is
+//! derived from a per-index seed via `dses_dist::derive_seed`). That
+//! makes parallelism trivial to get right *and* trivial to get
+//! deterministic:
+//!
+//! * workers pull indices from an atomic counter (dynamic load balancing
+//!   — grid points vary wildly in cost near saturation), and
+//! * each result is written to the slot of its **grid index**, never in
+//!   completion order.
+//!
+//! Consequently [`par_map`] with any worker count — including 1 — returns
+//! bit-for-bit the same vector as the sequential loop `items.map(f)`.
+//! There is no other source of nondeterminism to control: the engines
+//! never consult wall-clock time, thread ids, or a global RNG.
+//!
+//! The module is dependency-free (`std::thread::scope` only). A worker
+//! panic propagates to the caller, as with the sequential loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers the machine supports (`available_parallelism`,
+/// falling back to 1 when the platform cannot tell).
+#[must_use]
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Resolve a requested worker count: `None` or `Some(0)` means "use the
+/// machine" ([`available_workers`]); anything else is taken literally.
+#[must_use]
+pub fn effective_workers(requested: Option<usize>) -> usize {
+    match requested {
+        None | Some(0) => available_workers(),
+        Some(n) => n,
+    }
+}
+
+/// Map `f` over `0..n` on `workers` threads, returning results in index
+/// order.
+///
+/// Deterministic by construction: `f(i)` must be a pure function of `i`
+/// (all simulation entry points in this workspace are, given a seed), and
+/// the output vector is assembled by index, so any worker count —
+/// including 1, which runs the plain sequential loop with no threads
+/// spawned — produces identical bits.
+pub fn par_map_indexed<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Map `f` over a slice on `workers` threads, preserving input order.
+/// See [`par_map_indexed`] for the determinism contract.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed(items.len(), workers, |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_for_any_worker_count() {
+        let sequential: Vec<u64> = (0..97).map(|i| (i as u64).wrapping_mul(2_654_435_761)).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let parallel = par_map_indexed(97, workers, |i| (i as u64).wrapping_mul(2_654_435_761));
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_items_and_indices() {
+        let items = vec![10.0f64, 20.0, 30.0];
+        let out = par_map(&items, 2, |i, &x| x + i as f64);
+        assert_eq!(out, vec![10.0, 21.0, 32.0]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = par_map_indexed(0, 8, |i| i as i32);
+        assert!(empty.is_empty());
+        let one = par_map_indexed(1, 8, |i| i + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = par_map_indexed(3, 100, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn effective_workers_resolves_defaults() {
+        assert!(available_workers() >= 1);
+        assert_eq!(effective_workers(None), available_workers());
+        assert_eq!(effective_workers(Some(0)), available_workers());
+        assert_eq!(effective_workers(Some(5)), 5);
+    }
+
+    #[test]
+    fn simulation_runs_are_identical_across_worker_counts() {
+        // end-to-end: real engine runs fanned out per seed must agree
+        // bit-for-bit with the sequential loop
+        use crate::metrics::MetricsConfig;
+        use crate::simulate_dispatch;
+        use crate::state::{Dispatcher, SystemState};
+        use dses_dist::Rng64;
+        use dses_workload::{Job, Trace};
+
+        struct Coin;
+        impl Dispatcher for Coin {
+            fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, rng: &mut Rng64) -> usize {
+                rng.below(s.num_hosts() as u64) as usize
+            }
+        }
+
+        let trace = Trace::new(
+            (0..200)
+                .map(|i| Job::new(i, f64::from(i as u32) * 0.5, 1.0 + f64::from(i as u32 % 7)))
+                .collect(),
+        );
+        let run = |seed: usize| {
+            let mut p = Coin;
+            let r = simulate_dispatch(&trace, 3, &mut p, seed as u64, MetricsConfig::default());
+            (r.slowdown.mean.to_bits(), r.response.mean.to_bits(), r.makespan.to_bits())
+        };
+        let sequential: Vec<_> = (0..16).map(run).collect();
+        for workers in [2, 8] {
+            let parallel = par_map_indexed(16, workers, run);
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+}
