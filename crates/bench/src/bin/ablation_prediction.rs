@@ -34,7 +34,7 @@ fn main() {
             .seed(1997)
             .build();
         let sizes = ut.trace.sizes();
-        let emp = dses_dist::Empirical::from_values(&sizes).expect("positive sizes");
+        let emp = dses_dist::Empirical::from_values(sizes).expect("positive sizes");
         let cutoff = dses_queueing::cutoff::sita_u_opt_cutoff(&emp, ut.trace.arrival_rate())
             .or_else(|_| dses_queueing::cutoff::sita_e_cutoffs(&emp, 2).map(|c| c[0]))
             .expect("cutoff");

@@ -1,19 +1,37 @@
-//! End-to-end performance report for the parallel sweep path.
+//! End-to-end performance report for the simulation and solver hot paths.
 //!
-//! Times one fixed exhibit-style sweep grid (C90 workload, 2 hosts,
-//! 4 policies × 9 loads) sequentially (`threads = 1`) and in parallel
-//! (all cores), and measures peak heap allocation of a single run in
-//! streaming-metrics mode vs full-record mode. Results go to stdout and
-//! to `BENCH_parallel.json` in the current directory.
+//! Three sections, each with a built-in correctness check (timings are
+//! worthless if the optimised path changes answers):
+//!
+//! 1. **Parallel sweep** — one fixed exhibit-style grid (C90 workload,
+//!    2 hosts) sequentially vs on all cores, bit-identical results
+//!    required. Written to `BENCH_parallel.json`.
+//! 2. **Specialized kernels** — per-policy jobs/sec through the fast
+//!    engine's policy-specialized loops vs the same policy forced through
+//!    the full-state loop, record-for-record identical schedules
+//!    required. Written to `BENCH_kernel.json`.
+//! 3. **Cutoff solvers** — SITA-U solves/sec on the raw distribution vs
+//!    through the [`TruncatedMoments`] memoizing view, bit-identical
+//!    cutoffs required. Also in `BENCH_kernel.json`.
 //!
 //! Run with `cargo run --release -p dses-bench --bin perf_report`
-//! (release strongly recommended: the grid simulates ~1.4M jobs).
+//! (release strongly recommended: the full grid simulates ~1.4M jobs).
+//! Pass `--smoke` for a seconds-scale CI run that performs every
+//! identity check on tiny inputs and writes no files; the exit code is
+//! nonzero if any check fails in either mode.
 
 use dses_bench::harness::{fmt_duration, fmt_rate};
 use dses_bench::load_grid;
-use dses_core::policies::LeastWorkLeft;
+use dses_core::policies::{LeastWorkLeft, RandomPolicy, RoundRobin, ShortestQueue, SizeInterval};
 use dses_core::prelude::*;
-use dses_sim::{available_workers, simulate_dispatch, MetricsConfig};
+use dses_dist::{BoundedPareto, Distribution, Rng64};
+use dses_queueing::cutoff::{
+    sita_e_cutoffs, sita_u_fair_cutoff, sita_u_opt_cutoff, sita_u_opt_cutoffs_multi,
+    TruncatedMoments,
+};
+use dses_sim::metrics::JobRecord;
+use dses_sim::{available_workers, simulate_dispatch, MetricsConfig, SystemState};
+use dses_workload::Job;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -69,7 +87,279 @@ fn peak_heap_of<R>(f: impl FnOnce() -> R) -> (R, usize) {
     (out, peak.saturating_sub(base))
 }
 
+/// Wraps a policy so it claims `StateNeeds::ALL` (the trait default):
+/// this is exactly the pre-specialization fast engine, and serves as the
+/// "before" side of the kernel comparison.
+struct ForceFull(Box<dyn Dispatcher>);
+
+impl Dispatcher for ForceFull {
+    fn dispatch(&mut self, job: &Job, state: &SystemState<'_>, rng: &mut Rng64) -> usize {
+        self.0.dispatch(job, state, rng)
+    }
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+}
+
+/// Fastest of `reps` timed runs, in seconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn records_bitwise_equal(a: &[JobRecord], b: &[JobRecord]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.id == y.id
+                && x.host == y.host
+                && x.arrival.to_bits() == y.arrival.to_bits()
+                && x.size.to_bits() == y.size.to_bits()
+                && x.start.to_bits() == y.start.to_bits()
+                && x.completion.to_bits() == y.completion.to_bits()
+        })
+}
+
+struct KernelRow {
+    policy: &'static str,
+    loop_kind: &'static str,
+    full_jps: f64,
+    specialized_jps: f64,
+    identical: bool,
+}
+
+/// Section 2: specialized kernels vs the full-state loop, per policy.
+fn kernel_bench(smoke: bool) -> Vec<KernelRow> {
+    let preset = dses_workload::psc_c90();
+    let hosts = 8;
+    let jobs = if smoke { 4_000 } else { 200_000 };
+    let reps = if smoke { 1 } else { 3 };
+    let trace = preset.trace(jobs, 0.7, hosts, 1997);
+    let cutoffs = sita_e_cutoffs(&preset.size_dist, hosts).expect("SITA-E cutoffs");
+    println!("kernel specialization: {hosts} hosts, {jobs} jobs, C90 at rho=0.7");
+
+    type Builder<'a> = Box<dyn Fn() -> Box<dyn Dispatcher> + 'a>;
+    let builders: Vec<(&'static str, &'static str, Builder<'_>)> = vec![
+        ("Random", "static", Box::new(|| Box::new(RandomPolicy))),
+        (
+            "Round-Robin",
+            "static",
+            Box::new(|| Box::new(RoundRobin::default())),
+        ),
+        (
+            "SITA-E",
+            "static",
+            Box::new(|| Box::new(SizeInterval::new(cutoffs.clone(), "SITA-E"))),
+        ),
+        (
+            "Least-Work-Left",
+            "work-left",
+            Box::new(|| Box::new(LeastWorkLeft)),
+        ),
+        (
+            "Shortest-Queue",
+            "full",
+            Box::new(|| Box::new(ShortestQueue)),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, loop_kind, build) in &builders {
+        let mut specialized = build();
+        let spec_secs = best_of(reps, || {
+            simulate_dispatch(&trace, hosts, specialized.as_mut(), 7, MetricsConfig::streaming())
+        });
+        let mut full = ForceFull(build());
+        let full_secs = best_of(reps, || {
+            simulate_dispatch(&trace, hosts, &mut full, 7, MetricsConfig::streaming())
+        });
+        // correctness: the specialized loop must produce the identical
+        // schedule, record for record
+        let a = simulate_dispatch(
+            &trace,
+            hosts,
+            build().as_mut(),
+            7,
+            MetricsConfig::full_records(),
+        );
+        let b = simulate_dispatch(
+            &trace,
+            hosts,
+            &mut ForceFull(build()),
+            7,
+            MetricsConfig::full_records(),
+        );
+        let identical =
+            records_bitwise_equal(a.records.as_deref().unwrap(), b.records.as_deref().unwrap());
+        let row = KernelRow {
+            policy: name,
+            loop_kind,
+            full_jps: jobs as f64 / full_secs,
+            specialized_jps: jobs as f64 / spec_secs,
+            identical,
+        };
+        println!(
+            "  {:<16} {:<9} full {:>10}/s  specialized {:>10}/s  ({:.2}x, identical: {})",
+            row.policy,
+            row.loop_kind,
+            fmt_rate(row.full_jps),
+            fmt_rate(row.specialized_jps),
+            row.specialized_jps / row.full_jps,
+            row.identical
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+/// [`BoundedPareto`] with its closed-form moments hidden: only
+/// `sample`/`support`/`cdf`/`quantile` are supplied, so every partial and
+/// raw moment falls back to the trait's quantile-space quadrature. This
+/// is the bench stand-in for any user-supplied distribution that provides
+/// a CDF model but no analytic moments — the class the solver cache
+/// exists for.
+#[derive(Debug)]
+struct NumericOnly(BoundedPareto);
+
+impl Distribution for NumericOnly {
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        self.0.sample(rng)
+    }
+    fn support(&self) -> (f64, f64) {
+        self.0.support()
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.0.cdf(x)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        self.0.quantile(p)
+    }
+}
+
+struct CutoffDistBench {
+    dist: &'static str,
+    opt_raw_solves_per_sec: f64,
+    opt_cached_solves_per_sec: f64,
+    fair_raw_solves_per_sec: f64,
+    fair_cached_solves_per_sec: f64,
+    identical: bool,
+}
+
+struct CutoffBench {
+    dists: Vec<CutoffDistBench>,
+    multi_opt_secs: f64,
+    identical: bool,
+}
+
+fn cutoff_dist_bench<D: Distribution>(
+    name: &'static str,
+    d: &D,
+    reps: usize,
+) -> CutoffDistBench {
+    let lambda = 1.4 / d.mean(); // rho = 0.7 on 2 hosts
+    let opt_raw = best_of(reps, || sita_u_opt_cutoff(d, lambda).unwrap());
+    let opt_cached = best_of(reps, || {
+        let cached = TruncatedMoments::new(d);
+        sita_u_opt_cutoff(&cached, lambda).unwrap()
+    });
+    let fair_raw = best_of(reps, || sita_u_fair_cutoff(d, lambda).unwrap());
+    let fair_cached = best_of(reps, || {
+        let cached = TruncatedMoments::new(d);
+        sita_u_fair_cutoff(&cached, lambda).unwrap()
+    });
+    // correctness: the memoized solve must return the identical cutoff
+    let identical = sita_u_opt_cutoff(d, lambda).unwrap().to_bits()
+        == sita_u_opt_cutoff(&TruncatedMoments::new(d), lambda).unwrap().to_bits()
+        && sita_u_fair_cutoff(d, lambda).unwrap().to_bits()
+            == sita_u_fair_cutoff(&TruncatedMoments::new(d), lambda).unwrap().to_bits();
+    let bench = CutoffDistBench {
+        dist: name,
+        opt_raw_solves_per_sec: 1.0 / opt_raw,
+        opt_cached_solves_per_sec: 1.0 / opt_cached,
+        fair_raw_solves_per_sec: 1.0 / fair_raw,
+        fair_cached_solves_per_sec: 1.0 / fair_cached,
+        identical,
+    };
+    println!(
+        "  {:<24} opt:  raw {:>9.1} solves/s, cached {:>9.1} solves/s ({:.2}x)",
+        name,
+        bench.opt_raw_solves_per_sec,
+        bench.opt_cached_solves_per_sec,
+        bench.opt_cached_solves_per_sec / bench.opt_raw_solves_per_sec
+    );
+    println!(
+        "  {:<24} fair: raw {:>9.1} solves/s, cached {:>9.1} solves/s ({:.2}x, identical: {})",
+        name,
+        bench.fair_raw_solves_per_sec,
+        bench.fair_cached_solves_per_sec,
+        bench.fair_cached_solves_per_sec / bench.fair_raw_solves_per_sec,
+        bench.identical
+    );
+    bench
+}
+
+/// Section 3: SITA-U cutoff solves on the raw distribution vs through a
+/// fresh [`TruncatedMoments`] view per solve (what `resolve_cutoff` does).
+///
+/// Two distribution classes: the production C90 mixture (closed-form
+/// moments — queries are tens of nanoseconds, so the cache is expected to
+/// be roughly neutral there) and a numeric-fallback Bounded Pareto whose
+/// moments cost hundreds of microseconds each — the case the cache is
+/// for.
+fn cutoff_bench(smoke: bool) -> CutoffBench {
+    println!("cutoff solvers: rho=0.7, raw vs fresh memoized view per solve");
+    let mix = dses_workload::psc_c90().size_dist;
+    let mut dists = vec![cutoff_dist_bench(
+        "c90-mixture",
+        &mix,
+        if smoke { 2 } else { 12 },
+    )];
+    let numeric = NumericOnly(BoundedPareto::new(1.0, 1.0e7, 1.1).expect("valid BP"));
+    if smoke {
+        // a single numeric-fallback solve takes ~0.3 s — too slow for the
+        // smoke gate, but the identity check is cheap enough via fair
+        let lambda = 1.4 / numeric.mean();
+        let identical = sita_u_fair_cutoff(&numeric, lambda).unwrap().to_bits()
+            == sita_u_fair_cutoff(&TruncatedMoments::new(&numeric), lambda)
+                .unwrap()
+                .to_bits();
+        println!("  numeric-bounded-pareto   fair identity only (smoke): {identical}");
+        dists.push(CutoffDistBench {
+            dist: "numeric-bounded-pareto",
+            opt_raw_solves_per_sec: f64::NAN,
+            opt_cached_solves_per_sec: f64::NAN,
+            fair_raw_solves_per_sec: f64::NAN,
+            fair_cached_solves_per_sec: f64::NAN,
+            identical,
+        });
+    } else {
+        dists.push(cutoff_dist_bench("numeric-bounded-pareto", &numeric, 3));
+    }
+
+    // the multi-host solver memoizes internally; report its absolute cost
+    let lambda4 = 0.7 * 4.0 / mix.mean();
+    let multi_opt_secs = best_of(if smoke { 1 } else { 3 }, || {
+        sita_u_opt_cutoffs_multi(&mix, lambda4, 4).unwrap()
+    });
+    println!("  SITA-U-opt 4 hosts (c90, memoized internally): {multi_opt_secs:.4}s/solve");
+
+    let identical = dists.iter().all(|b| b.identical);
+    CutoffBench {
+        dists,
+        multi_opt_secs,
+        identical,
+    }
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let preset = dses_workload::psc_c90();
     let specs = [
         PolicySpec::Random,
@@ -77,17 +367,26 @@ fn main() {
         PolicySpec::SitaE,
         PolicySpec::SitaUFair,
     ];
-    let loads = load_grid();
-    let jobs_per_point = 40_000usize;
+    let loads = if smoke {
+        vec![0.5, 0.7, 0.9]
+    } else {
+        load_grid()
+    };
+    let jobs_per_point = if smoke { 3_000 } else { 40_000 };
     let total_jobs = (jobs_per_point * specs.len() * loads.len()) as u64;
     let workers = available_workers();
     let base = Experiment::new(preset.size_dist.clone())
         .hosts(2)
         .jobs(jobs_per_point)
-        .warmup_jobs(1_000)
+        .warmup_jobs(if smoke { 100 } else { 1_000 })
         .seed(1997);
 
-    println!("perf_report: {} policies x {} loads, {jobs_per_point} jobs/point, {workers} cores", specs.len(), loads.len());
+    println!(
+        "perf_report{}: {} policies x {} loads, {jobs_per_point} jobs/point, {workers} cores",
+        if smoke { " (smoke)" } else { "" },
+        specs.len(),
+        loads.len()
+    );
 
     let start = Instant::now();
     let sequential = base.clone().threads(1).sweep_grid(&specs, &loads);
@@ -101,7 +400,7 @@ fn main() {
 
     // Bit-for-bit check, not just a timing: the parallel grid must be the
     // sequential grid.
-    let identical = sequential
+    let sweep_identical = sequential
         .iter()
         .zip(&parallel)
         .all(|(a, b)| {
@@ -113,7 +412,7 @@ fn main() {
                 })
         });
     let speedup = seq_secs / par_secs;
-    println!("  speedup {speedup:.2}x, results identical: {identical}");
+    println!("  speedup {speedup:.2}x, results identical: {sweep_identical}");
 
     // Streaming vs full-record metrics: same trace, same policy, measure
     // peak heap growth of the run itself.
@@ -133,17 +432,66 @@ fn main() {
         peak_records as f64 / peak_streaming.max(1) as f64
     );
 
-    let json = format!(
-        "{{\n  \"grid\": {{\"workload\": \"c90\", \"hosts\": 2, \"policies\": {}, \"loads\": {}, \"jobs_per_point\": {jobs_per_point}, \"total_jobs\": {total_jobs}}},\n  \"cores\": {workers},\n  \"sequential_secs\": {seq_secs:.4},\n  \"parallel_secs\": {par_secs:.4},\n  \"speedup\": {speedup:.3},\n  \"jobs_per_sec_sequential\": {:.0},\n  \"jobs_per_sec_parallel\": {:.0},\n  \"bit_identical\": {identical},\n  \"peak_heap_bytes_streaming\": {peak_streaming},\n  \"peak_heap_bytes_records\": {peak_records}\n}}\n",
-        specs.len(),
-        loads.len(),
-        total_jobs as f64 / seq_secs,
-        total_jobs as f64 / par_secs,
-    );
-    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    println!("wrote BENCH_parallel.json");
-    if !identical {
-        eprintln!("ERROR: parallel sweep diverged from sequential");
+    let kernels = kernel_bench(smoke);
+    let cutoffs = cutoff_bench(smoke);
+
+    let kernels_identical = kernels.iter().all(|r| r.identical);
+    let bit_identical = sweep_identical && kernels_identical && cutoffs.identical;
+
+    if !smoke {
+        let json = format!(
+            "{{\n  \"grid\": {{\"workload\": \"c90\", \"hosts\": 2, \"policies\": {}, \"loads\": {}, \"jobs_per_point\": {jobs_per_point}, \"total_jobs\": {total_jobs}}},\n  \"cores\": {workers},\n  \"sequential_secs\": {seq_secs:.4},\n  \"parallel_secs\": {par_secs:.4},\n  \"speedup\": {speedup:.3},\n  \"jobs_per_sec_sequential\": {:.0},\n  \"jobs_per_sec_parallel\": {:.0},\n  \"bit_identical\": {sweep_identical},\n  \"peak_heap_bytes_streaming\": {peak_streaming},\n  \"peak_heap_bytes_records\": {peak_records}\n}}\n",
+            specs.len(),
+            loads.len(),
+            total_jobs as f64 / seq_secs,
+            total_jobs as f64 / par_secs,
+        );
+        std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+        println!("wrote BENCH_parallel.json");
+
+        let kernel_rows: Vec<String> = kernels
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"policy\": \"{}\", \"loop\": \"{}\", \"full_jobs_per_sec\": {:.0}, \"specialized_jobs_per_sec\": {:.0}, \"speedup\": {:.3}, \"bit_identical\": {}}}",
+                    r.policy,
+                    r.loop_kind,
+                    r.full_jps,
+                    r.specialized_jps,
+                    r.specialized_jps / r.full_jps,
+                    r.identical
+                )
+            })
+            .collect();
+        let cutoff_rows: Vec<String> = cutoffs
+            .dists
+            .iter()
+            .map(|b| {
+                format!(
+                    "    {{\"dist\": \"{}\", \"opt_raw_solves_per_sec\": {:.2}, \"opt_cached_solves_per_sec\": {:.2}, \"opt_speedup\": {:.3}, \"fair_raw_solves_per_sec\": {:.2}, \"fair_cached_solves_per_sec\": {:.2}, \"fair_speedup\": {:.3}, \"bit_identical\": {}}}",
+                    b.dist,
+                    b.opt_raw_solves_per_sec,
+                    b.opt_cached_solves_per_sec,
+                    b.opt_cached_solves_per_sec / b.opt_raw_solves_per_sec,
+                    b.fair_raw_solves_per_sec,
+                    b.fair_cached_solves_per_sec,
+                    b.fair_cached_solves_per_sec / b.fair_raw_solves_per_sec,
+                    b.identical
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"config\": {{\"workload\": \"c90\", \"hosts\": 8, \"rho\": 0.7, \"jobs\": 200000, \"seed\": 1997}},\n  \"kernels\": [\n{}\n  ],\n  \"cutoff\": [\n{}\n  ],\n  \"multi_opt_secs_4_hosts\": {:.4},\n  \"bit_identical\": {bit_identical}\n}}\n",
+            kernel_rows.join(",\n"),
+            cutoff_rows.join(",\n"),
+            cutoffs.multi_opt_secs,
+        );
+        std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+        println!("wrote BENCH_kernel.json");
+    }
+
+    if !bit_identical {
+        eprintln!("ERROR: an optimised path diverged from its reference");
         std::process::exit(1);
     }
 }

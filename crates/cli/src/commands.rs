@@ -379,7 +379,7 @@ fn swf_cmd(args: &Args) -> Result<String, ArgError> {
     let spec = names::policy(args.get_or("policy", "least-work-left"))?;
     // build the policy against the trace's own empirical distribution
     let sizes = trace.sizes();
-    let emp = dses_dist::Empirical::from_values(&sizes)
+    let emp = dses_dist::Empirical::from_values(sizes)
         .map_err(|e| ArgError(e.to_string()))?;
     let experiment = Experiment::new(EmpiricalArc(std::sync::Arc::new(emp)))
         .hosts(hosts)

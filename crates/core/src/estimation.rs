@@ -18,7 +18,7 @@
 
 use crate::policies::SizeInterval;
 use dses_dist::Rng64;
-use dses_sim::{Dispatcher, SystemState};
+use dses_sim::{Dispatcher, StateNeeds, SystemState};
 use dses_workload::Job;
 
 /// SITA with lognormal-noisy size estimates: the dispatcher sees
@@ -67,6 +67,10 @@ impl Dispatcher for NoisySizeInterval {
 
     fn name(&self) -> String {
         format!("{}+noise(sigma={})", self.inner.name(), self.sigma)
+    }
+
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::NOTHING
     }
 }
 
@@ -136,6 +140,10 @@ impl Dispatcher for MisclassifyingSita {
             "SITA+misclassify(short={}, long={})",
             self.flip_short, self.flip_long
         )
+    }
+
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::NOTHING
     }
 }
 

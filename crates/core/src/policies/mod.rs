@@ -21,7 +21,7 @@
 pub mod tags;
 
 use dses_dist::Rng64;
-use dses_sim::{Dispatcher, SystemState};
+use dses_sim::{Dispatcher, StateNeeds, SystemState};
 use dses_workload::Job;
 
 /// Random assignment: send each job to a uniformly random host.
@@ -38,6 +38,10 @@ impl Dispatcher for RandomPolicy {
 
     fn name(&self) -> String {
         "Random".into()
+    }
+
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::NOTHING
     }
 }
 
@@ -64,6 +68,10 @@ impl Dispatcher for RoundRobin {
     fn reset(&mut self) {
         self.next = 0;
     }
+
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::NOTHING
+    }
 }
 
 /// Shortest-Queue assignment: send to the host with the fewest jobs
@@ -78,6 +86,10 @@ impl Dispatcher for ShortestQueue {
 
     fn name(&self) -> String {
         "Shortest-Queue".into()
+    }
+
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::QUEUE_LEN
     }
 }
 
@@ -94,6 +106,10 @@ impl Dispatcher for LeastWorkLeft {
 
     fn name(&self) -> String {
         "Least-Work-Left".into()
+    }
+
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::WORK_LEFT
     }
 }
 
@@ -160,6 +176,10 @@ impl Dispatcher for SizeInterval {
 
     fn name(&self) -> String {
         self.label.clone()
+    }
+
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::NOTHING
     }
 }
 
@@ -245,6 +265,10 @@ impl Dispatcher for GroupedSita {
 
     fn name(&self) -> String {
         self.label.clone()
+    }
+
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::WORK_LEFT
     }
 }
 
@@ -351,6 +375,22 @@ mod tests {
     #[should_panic(expected = "each group")]
     fn grouped_sita_rejects_empty_group() {
         let _ = GroupedSita::new(50.0, 2, 2, "bad");
+    }
+
+    #[test]
+    fn declared_state_needs_match_what_dispatch_reads() {
+        assert_eq!(RandomPolicy.state_needs(), StateNeeds::NOTHING);
+        assert_eq!(RoundRobin::default().state_needs(), StateNeeds::NOTHING);
+        assert_eq!(ShortestQueue.state_needs(), StateNeeds::QUEUE_LEN);
+        assert_eq!(LeastWorkLeft.state_needs(), StateNeeds::WORK_LEFT);
+        assert_eq!(
+            SizeInterval::new(vec![1.0], "SITA-E").state_needs(),
+            StateNeeds::NOTHING
+        );
+        assert_eq!(
+            GroupedSita::new(50.0, 4, 2, "SITA-E/LWL").state_needs(),
+            StateNeeds::WORK_LEFT
+        );
     }
 
     #[test]

@@ -38,20 +38,23 @@ pub fn simulate_tags(trace: &Trace, cutoffs: &[f64], cfg: MetricsConfig) -> SimR
         "cutoffs must be strictly increasing"
     );
     let levels = cutoffs.len() + 1;
-    let mut collector = Collector::new(levels, cfg);
+    let mut collector = Collector::with_job_hint(levels, cfg, trace.len());
     // Jobs currently flowing into level `i`, as (arrival_at_level, job
-    // index). Level 0 sees the raw trace.
+    // index). Level 0 sees the raw trace. The survivor buffer is
+    // allocated once at full size and ping-ponged between levels, so the
+    // cascade performs no per-level reallocation.
     let mut incoming: Vec<(f64, usize)> = trace
         .jobs()
         .iter()
         .enumerate()
         .map(|(i, j)| (j.arrival, i))
         .collect();
+    let mut next_incoming: Vec<(f64, usize)> = Vec::with_capacity(trace.len());
     let jobs = trace.jobs();
     for level in 0..levels {
         let cutoff = cutoffs.get(level).copied().unwrap_or(f64::INFINITY);
         let mut free_at = 0.0f64;
-        let mut next_incoming: Vec<(f64, usize)> = Vec::new();
+        next_incoming.clear();
         for &(arrival, idx) in &incoming {
             let job = &jobs[idx];
             if job.size <= cutoff {
@@ -75,7 +78,7 @@ pub fn simulate_tags(trace: &Trace, cutoffs: &[f64], cfg: MetricsConfig) -> SimR
                 next_incoming.push((killed_at, idx));
             }
         }
-        incoming = next_incoming;
+        std::mem::swap(&mut incoming, &mut next_incoming);
         if incoming.is_empty() {
             break;
         }

@@ -133,6 +133,10 @@ impl<P: SizePredictor> Dispatcher for PredictedSizeInterval<P> {
     fn name(&self) -> String {
         "SITA+predicted".to_string()
     }
+
+    fn state_needs(&self) -> dses_sim::StateNeeds {
+        dses_sim::StateNeeds::NOTHING
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +170,7 @@ mod tests {
         // cutoffs from the trace's own empirical distribution (sizes are
         // user-mixed, so the preset analysis doesn't apply directly)
         let sizes = ut.trace.sizes();
-        let emp = dses_dist::Empirical::from_values(&sizes).unwrap();
+        let emp = dses_dist::Empirical::from_values(sizes).unwrap();
         let cutoff = dses_queueing::cutoff::sita_u_opt_cutoff(&emp, ut.trace.arrival_rate())
             .unwrap_or_else(|_| {
                 dses_queueing::cutoff::sita_e_cutoffs(&emp, 2).unwrap()[0]

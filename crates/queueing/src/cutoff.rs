@@ -18,7 +18,10 @@
 
 use crate::sita::SitaAnalysis;
 use dses_dist::numeric;
-use dses_dist::Distribution;
+use dses_dist::{Distribution, Rng64};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Error from a cutoff solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +48,167 @@ impl std::fmt::Display for CutoffError {
 }
 
 impl std::error::Error for CutoffError {}
+
+/// A memoizing view of a [`Distribution`] for cutoff solvers.
+///
+/// The solvers in this module hammer a tiny set of expensive queries —
+/// `partial_moment`, `prob_in`, `raw_moment`, `quantile` — at *repeated*
+/// arguments: `SitaAnalysis::analyze` and `ServiceMoments::of_interval`
+/// each recompute the same band masses and partial first moments, the
+/// coordinate-descent and water-filling searches re-evaluate bands whose
+/// edges did not move, and `raw_moment(1)` is recomputed on every one of
+/// the hundreds of objective evaluations in a single solve. For
+/// distributions without closed-form moments (e.g. [`dses_dist::Empirical`]
+/// built from a trace, or any [`Distribution`] falling back to the
+/// quantile-space quadrature defaults) each repeat costs hundreds of
+/// quantile evaluations.
+///
+/// `TruncatedMoments` wraps a borrowed distribution and caches those four
+/// queries keyed by their *exact bit patterns* (`f64::to_bits`), so a hit
+/// returns the identical `f64` the underlying distribution produced —
+/// routing a solver through the cache cannot change a single bit of its
+/// answer. Every other trait method delegates straight to the inner
+/// distribution (including the ones with provided defaults, so an inner
+/// override is never shadowed by a recomposed default).
+///
+/// Interior mutability is a [`Mutex`] per memo table: the `Distribution`
+/// trait is `Send + Sync` and the experiment grids solve cutoffs from
+/// many threads. Contention is negligible — the tables are consulted at
+/// solver cadence (microseconds between queries), not in simulation hot
+/// loops.
+#[derive(Debug)]
+pub struct TruncatedMoments<'a, D: Distribution + ?Sized> {
+    inner: &'a D,
+    partial: Mutex<MomentMap<(i32, u64, u64)>>,
+    prob: Mutex<MomentMap<(u64, u64)>>,
+    raw: Mutex<MomentMap<i32>>,
+    quantiles: Mutex<MomentMap<u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// FxHash-style multiply-xor hasher for the memo tables. The keys are
+/// `f64` bit patterns and small integers — already well spread — and the
+/// guarded computations can be as cheap as a closed-form Pareto moment,
+/// so the default SipHash would cost a visible fraction of what the
+/// cache saves.
+#[derive(Default)]
+struct MomentKeyHasher(u64);
+
+impl std::hash::Hasher for MomentKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+    fn write_i32(&mut self, n: i32) {
+        self.write_u64(n as u32 as u64);
+    }
+}
+
+type MomentMap<K> = HashMap<K, f64, std::hash::BuildHasherDefault<MomentKeyHasher>>;
+
+impl<'a, D: Distribution + ?Sized> TruncatedMoments<'a, D> {
+    /// Wrap `inner` with empty memo tables.
+    #[must_use]
+    pub fn new(inner: &'a D) -> Self {
+        Self {
+            inner,
+            partial: Mutex::new(MomentMap::default()),
+            prob: Mutex::new(MomentMap::default()),
+            raw: Mutex::new(MomentMap::default()),
+            quantiles: Mutex::new(MomentMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `(hits, misses)` across all four memo tables so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    fn memo<K: std::hash::Hash + Eq + Copy>(
+        &self,
+        table: &Mutex<MomentMap<K>>,
+        key: K,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        // One hash, one lock: `entry` computes under the lock, which is
+        // safe (the inner distribution never re-enters the cache) and
+        // uncontended (each solve owns its own wrapper).
+        match table.lock().unwrap().entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                *e.insert(compute())
+            }
+        }
+    }
+}
+
+impl<D: Distribution + ?Sized> Distribution for TruncatedMoments<'_, D> {
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        self.inner.sample(rng)
+    }
+    fn support(&self) -> (f64, f64) {
+        self.inner.support()
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.inner.cdf(x)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        self.memo(&self.quantiles, p.to_bits(), || self.inner.quantile(p))
+    }
+    fn raw_moment(&self, k: i32) -> f64 {
+        self.memo(&self.raw, k, || self.inner.raw_moment(k))
+    }
+    fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+    fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+    fn scv(&self) -> f64 {
+        self.inner.scv()
+    }
+    fn prob_in(&self, a: f64, b: f64) -> f64 {
+        self.memo(&self.prob, (a.to_bits(), b.to_bits()), || self.inner.prob_in(a, b))
+    }
+    fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
+        self.memo(&self.partial, (k, a.to_bits(), b.to_bits()), || {
+            self.inner.partial_moment(k, a, b)
+        })
+    }
+    fn conditional_moment(&self, k: i32, a: f64, b: f64) -> f64 {
+        // recompose from the memoized pieces — identical arithmetic to
+        // the trait default, now cache-backed
+        let p = self.prob_in(a, b);
+        if p <= 0.0 {
+            0.0
+        } else {
+            self.partial_moment(k, a, b) / p
+        }
+    }
+    fn tail_load_fraction(&self, x: f64) -> f64 {
+        let (_, hi) = self.support();
+        let m = self.mean();
+        if m <= 0.0 {
+            return 0.0;
+        }
+        (self.partial_moment(1, x, hi) / m).clamp(0.0, 1.0)
+    }
+}
 
 /// Test-support constructor shared across the crate's test modules: the
 /// calibrated body–tail C90 stand-in.
@@ -252,6 +416,9 @@ pub fn sita_u_opt_cutoffs_multi<D: Distribution + ?Sized>(
     hosts: usize,
 ) -> Result<Vec<f64>, CutoffError> {
     assert!(hosts >= 2, "need at least two hosts");
+    // Coordinate descent re-evaluates bands whose edges did not move on
+    // every sweep; the memoizing view collapses those repeats.
+    let dist = &TruncatedMoments::new(dist);
     let offered = lambda * dist.raw_moment(1);
     if offered >= hosts as f64 {
         return Err(CutoffError::Infeasible { offered });
@@ -346,6 +513,9 @@ pub fn sita_u_fair_cutoffs_multi<D: Distribution + ?Sized>(
     hosts: usize,
 ) -> Result<Vec<f64>, CutoffError> {
     assert!(hosts >= 2, "need at least two hosts");
+    // Water-filling's outer bisection replays near-identical band edges
+    // across placements; the memoizing view collapses the repeats.
+    let dist = &TruncatedMoments::new(dist);
     let offered = lambda * dist.raw_moment(1);
     if offered >= hosts as f64 {
         return Err(CutoffError::Infeasible { offered });
@@ -589,6 +759,60 @@ mod tests {
         let fair = sita_u_fair_cutoff(&d, lambda).unwrap();
         let af = SitaAnalysis::analyze(&d, lambda, &[fair]);
         assert!(af.is_stable());
+    }
+
+    #[test]
+    fn truncated_moments_is_bit_identical_to_the_raw_distribution() {
+        let d = c90ish();
+        let cached = TruncatedMoments::new(&d);
+        let probes = [60.0, 500.0, 4562.0, 1.0e5, 2.0e6];
+        // ask everything twice: the second pass answers from the cache
+        for _ in 0..2 {
+            for k in [-1i32, 1, 2] {
+                assert_eq!(cached.raw_moment(k), d.raw_moment(k), "raw k={k}");
+            }
+            for &a in &probes {
+                for &b in &probes {
+                    assert_eq!(cached.prob_in(a, b), d.prob_in(a, b));
+                    assert_eq!(
+                        cached.partial_moment(1, a, b),
+                        d.partial_moment(1, a, b)
+                    );
+                    assert_eq!(
+                        cached.conditional_moment(2, a, b),
+                        d.conditional_moment(2, a, b)
+                    );
+                }
+            }
+            for &p in &[0.01, 0.5, 0.987, 1.0 - 1e-12] {
+                assert_eq!(cached.quantile(p), d.quantile(p));
+            }
+            assert_eq!(cached.mean(), d.mean());
+            assert_eq!(cached.variance(), d.variance());
+            assert_eq!(cached.tail_load_fraction(1.0e5), d.tail_load_fraction(1.0e5));
+        }
+        let (hits, misses) = cached.stats();
+        assert!(hits > 0, "second pass must hit the cache");
+        assert!(misses > 0);
+    }
+
+    #[test]
+    fn truncated_moments_caches_solver_workloads() {
+        // a full 2-host solve through the cache returns the same cutoff
+        // as the raw distribution, and actually hits the memo tables
+        let d = c90ish();
+        let lambda = 1.2 / d.mean();
+        let raw = sita_u_opt_cutoff(&d, lambda).unwrap();
+        let cached = TruncatedMoments::new(&d);
+        let memoized = sita_u_opt_cutoff(&cached, lambda).unwrap();
+        assert_eq!(raw.to_bits(), memoized.to_bits());
+        let (hits, _) = cached.stats();
+        assert!(hits > 0, "solver should reuse cached moments");
+
+        let raw_fair = sita_u_fair_cutoff(&d, lambda).unwrap();
+        let cached_fair = TruncatedMoments::new(&d);
+        let memoized_fair = sita_u_fair_cutoff(&cached_fair, lambda).unwrap();
+        assert_eq!(raw_fair.to_bits(), memoized_fair.to_bits());
     }
 
     #[test]

@@ -5,8 +5,27 @@
 //! `free_at` is the time the host drains everything already assigned,
 //! then a job arriving at `t` starts at `max(t, free_at)` and the new
 //! `free_at` is `start + size`. This gives an *exact* simulation — not an
-//! approximation — at O(log n) per job (a heap maintains in-system job
-//! counts for queue-length-aware policies such as Shortest-Queue).
+//! approximation.
+//!
+//! The engine is **specialized to the policy**: a dispatcher declares
+//! which [`HostView`] fields it reads via
+//! [`Dispatcher::state_needs`](crate::state::StateNeeds), and the engine
+//! picks one of three hot loops:
+//!
+//! * **static** (`NOTHING`, e.g. Random/Round-Robin/SITA) — O(1) per
+//!   job: the Lindley scalar per host is all the state there is, and the
+//!   views handed to the policy are never refreshed (it cannot tell);
+//! * **work-left** (`WORK_LEFT`, e.g. Least-Work-Left) — O(h) per job,
+//!   heap-free: `work_left = max(free_at − now, 0)` falls out of the
+//!   Lindley scalar;
+//! * **full** (`QUEUE_LEN` demanded, e.g. Shortest-Queue) — a per-host
+//!   min-heap of completion times maintains in-system job counts.
+//!
+//! All three loops run the identical Lindley arithmetic on the same RNG
+//! stream, so the schedules are bit-for-bit the same regardless of which
+//! loop runs — a policy that does not read a field cannot observe
+//! whether it was computed. The loops stream the trace through its
+//! structure-of-arrays views ([`Trace::arrivals`], [`Trace::sizes`]).
 //!
 //! The event-driven engine in [`crate::event`] computes the identical
 //! schedule the slow way; `tests` in both modules and the integration
@@ -41,17 +60,14 @@ impl Ord for OrdF64 {
 struct HostSim {
     /// time at which all currently assigned work completes
     free_at: f64,
-    /// host speed: a job of size `x` occupies the host for `x / speed`
-    speed: f64,
     /// completion times of jobs still in the system (min-heap)
     completions: BinaryHeap<Reverse<OrdF64>>,
 }
 
 impl HostSim {
-    fn new(speed: f64) -> Self {
+    fn new() -> Self {
         Self {
             free_at: 0.0,
-            speed,
             // jobs in system per host stay small except near saturation;
             // 32 slots absorb the common case without reallocation
             completions: BinaryHeap::with_capacity(32),
@@ -73,14 +89,53 @@ impl HostSim {
         }
     }
 
-    /// Assign a job arriving at `now` with the given size; returns
-    /// `(start, completion)`.
-    fn assign(&mut self, now: f64, size: f64) -> (f64, f64) {
+    /// Assign a job arriving at `now` with the given (speed-adjusted)
+    /// service time; returns `(start, completion)`.
+    fn assign(&mut self, now: f64, service: f64) -> (f64, f64) {
         let start = now.max(self.free_at);
-        let completion = start + size / self.speed;
+        let completion = start + service;
         self.free_at = completion;
         self.completions.push(Reverse(OrdF64(completion)));
         (start, completion)
+    }
+}
+
+/// How a host turns a job's size into occupancy time. The two
+/// implementations let the common homogeneous case monomorphize to a
+/// plain `size` copy — no `Vec<f64>` of speeds allocated, no per-job
+/// divide — while heterogeneous hosts pay the divide they need.
+/// (`size / 1.0 == size` exactly in IEEE arithmetic, so the two paths
+/// agree bit-for-bit on unit speeds.)
+trait SpeedModel {
+    fn hosts(&self) -> usize;
+    fn service(&self, host: usize, size: f64) -> f64;
+}
+
+/// `hosts` identical unit-speed hosts (the paper's model).
+struct UnitSpeeds(usize);
+
+impl SpeedModel for UnitSpeeds {
+    #[inline]
+    fn hosts(&self) -> usize {
+        self.0
+    }
+    #[inline]
+    fn service(&self, _host: usize, size: f64) -> f64 {
+        size
+    }
+}
+
+/// Per-host relative service rates.
+struct PerHostSpeeds<'a>(&'a [f64]);
+
+impl SpeedModel for PerHostSpeeds<'_> {
+    #[inline]
+    fn hosts(&self) -> usize {
+        self.0.len()
+    }
+    #[inline]
+    fn service(&self, host: usize, size: f64) -> f64 {
+        size / self.0[host]
     }
 }
 
@@ -118,7 +173,7 @@ pub fn simulate_dispatch<P: Dispatcher + ?Sized>(
     seed: u64,
     cfg: MetricsConfig,
 ) -> SimResult {
-    simulate_dispatch_speeds(trace, &vec![1.0; hosts], policy, seed, cfg)
+    run_specialized(trace, &UnitSpeeds(hosts), policy, seed, cfg)
 }
 
 /// Simulate `trace` on **heterogeneous** FCFS hosts: `speeds[i]` is host
@@ -138,44 +193,137 @@ pub fn simulate_dispatch_speeds<P: Dispatcher + ?Sized>(
     seed: u64,
     cfg: MetricsConfig,
 ) -> SimResult {
-    let hosts = speeds.len();
-    assert!(hosts > 0, "need at least one host");
     assert!(
         speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
         "host speeds must be positive and finite"
     );
+    run_specialized(trace, &PerHostSpeeds(speeds), policy, seed, cfg)
+}
+
+/// Dispatch to the hot loop matching the policy's declared state needs.
+///
+/// Every loop performs the same sequence of observable operations — one
+/// `policy.dispatch` per job on the shared RNG stream, then the Lindley
+/// update `start = max(now, free_at)`, `free_at = start + service` —
+/// so the choice of loop never changes a schedule, only how much host
+/// bookkeeping is maintained between dispatches.
+fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
+    trace: &Trace,
+    speeds: &S,
+    policy: &mut P,
+    seed: u64,
+    cfg: MetricsConfig,
+) -> SimResult {
+    let hosts = speeds.hosts();
+    assert!(hosts > 0, "need at least one host");
     policy.reset();
+    let needs = policy.state_needs();
     let mut rng = Rng64::seed_from(seed).stream(0xD15);
-    let mut host_sims: Vec<HostSim> = speeds.iter().map(|&s| HostSim::new(s)).collect();
-    let mut views: Vec<HostView> = vec![
-        HostView {
-            queue_len: 0,
-            work_left: 0.0
-        };
-        hosts
-    ];
     let mut collector = Collector::with_job_hint(hosts, cfg, trace.len());
-    for job in trace.jobs() {
-        let now = job.arrival;
-        for (v, hs) in views.iter_mut().zip(host_sims.iter_mut()) {
-            *v = hs.view(now);
+    let jobs = trace.jobs();
+    let arrivals = trace.arrivals();
+    let sizes = trace.sizes();
+
+    if needs.needs_queue_len() {
+        // Full loop: per-host completion heaps for queue lengths.
+        let mut host_sims: Vec<HostSim> = (0..hosts).map(|_| HostSim::new()).collect();
+        let mut views: Vec<HostView> = vec![
+            HostView {
+                queue_len: 0,
+                work_left: 0.0
+            };
+            hosts
+        ];
+        for i in 0..jobs.len() {
+            let now = arrivals[i];
+            for (v, hs) in views.iter_mut().zip(host_sims.iter_mut()) {
+                *v = hs.view(now);
+            }
+            let state = SystemState { now, hosts: &views };
+            let target = policy.dispatch(&jobs[i], &state, &mut rng);
+            assert!(
+                target < hosts,
+                "policy {} returned host {target} of {hosts}",
+                policy.name()
+            );
+            let (start, completion) =
+                host_sims[target].assign(now, speeds.service(target, sizes[i]));
+            collector.record(JobRecord {
+                id: jobs[i].id,
+                arrival: now,
+                size: sizes[i],
+                start,
+                completion,
+                host: target,
+            });
         }
-        let state = SystemState { now, hosts: &views };
-        let target = policy.dispatch(job, &state, &mut rng);
-        assert!(
-            target < hosts,
-            "policy {} returned host {target} of {hosts}",
-            policy.name()
-        );
-        let (start, completion) = host_sims[target].assign(now, job.size);
-        collector.record(JobRecord {
-            id: job.id,
-            arrival: job.arrival,
-            size: job.size,
-            start,
-            completion,
-            host: target,
-        });
+    } else if needs.needs_work_left() {
+        // Work-left loop: the Lindley scalar is the whole host state.
+        // `queue_len` stays 0 — the policy declared it never reads it.
+        let mut free_at = vec![0.0f64; hosts];
+        let mut views: Vec<HostView> = vec![
+            HostView {
+                queue_len: 0,
+                work_left: 0.0
+            };
+            hosts
+        ];
+        for i in 0..jobs.len() {
+            let now = arrivals[i];
+            for (v, &f) in views.iter_mut().zip(free_at.iter()) {
+                v.work_left = (f - now).max(0.0);
+            }
+            let state = SystemState { now, hosts: &views };
+            let target = policy.dispatch(&jobs[i], &state, &mut rng);
+            assert!(
+                target < hosts,
+                "policy {} returned host {target} of {hosts}",
+                policy.name()
+            );
+            let start = now.max(free_at[target]);
+            let completion = start + speeds.service(target, sizes[i]);
+            free_at[target] = completion;
+            collector.record(JobRecord {
+                id: jobs[i].id,
+                arrival: now,
+                size: sizes[i],
+                start,
+                completion,
+                host: target,
+            });
+        }
+    } else {
+        // Static loop: the policy reads no host state at all, so the
+        // views are frozen zeros (correct length, never refreshed).
+        let mut free_at = vec![0.0f64; hosts];
+        let views: Vec<HostView> = vec![
+            HostView {
+                queue_len: 0,
+                work_left: 0.0
+            };
+            hosts
+        ];
+        for i in 0..jobs.len() {
+            let now = arrivals[i];
+            let state = SystemState { now, hosts: &views };
+            let target = policy.dispatch(&jobs[i], &state, &mut rng);
+            assert!(
+                target < hosts,
+                "policy {} returned host {target} of {hosts}",
+                policy.name()
+            );
+            let start = now.max(free_at[target]);
+            let completion = start + speeds.service(target, sizes[i]);
+            free_at[target] = completion;
+            collector.record(JobRecord {
+                id: jobs[i].id,
+                arrival: now,
+                size: sizes[i],
+                start,
+                completion,
+                host: target,
+            });
+        }
     }
     collector.finish()
 }
@@ -183,6 +331,7 @@ pub fn simulate_dispatch_speeds<P: Dispatcher + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::StateNeeds;
     use dses_workload::Job;
 
     /// Send every job to host 0.
@@ -194,6 +343,9 @@ mod tests {
         fn name(&self) -> String {
             "to-zero".into()
         }
+        fn state_needs(&self) -> StateNeeds {
+            StateNeeds::NOTHING
+        }
     }
 
     /// Always pick the least-work host (mini LWL for engine tests).
@@ -201,6 +353,24 @@ mod tests {
     impl Dispatcher for MiniLwl {
         fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
             s.least_work()
+        }
+        fn state_needs(&self) -> StateNeeds {
+            StateNeeds::WORK_LEFT
+        }
+    }
+
+    /// Forces the full (heap-maintaining) loop for any inner policy by
+    /// claiming it reads everything — the pre-specialization engine.
+    struct ForceFull<P>(P);
+    impl<P: Dispatcher> Dispatcher for ForceFull<P> {
+        fn dispatch(&mut self, job: &Job, s: &SystemState<'_>, rng: &mut Rng64) -> usize {
+            self.0.dispatch(job, s, rng)
+        }
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn reset(&mut self) {
+            self.0.reset();
         }
     }
 
@@ -309,6 +479,82 @@ mod tests {
         impl Dispatcher for Bad {
             fn dispatch(&mut self, _: &Job, _: &SystemState<'_>, _: &mut Rng64) -> usize {
                 7
+            }
+        }
+        let t = trace(&[(0.0, 1.0)]);
+        let _ = simulate_dispatch(&t, 2, &mut Bad, 0, MetricsConfig::default());
+    }
+
+    #[test]
+    fn specialized_loops_match_the_full_loop_bitwise() {
+        // A bursty hand trace with ties and idle gaps; every loop must
+        // produce the identical schedule to the heap-maintaining one.
+        let t = trace(&[
+            (0.0, 10.0),
+            (0.0, 3.0),
+            (1.0, 1.0),
+            (1.0, 7.0),
+            (4.0, 2.0),
+            (30.0, 5.0),
+            (30.5, 0.5),
+        ]);
+        let cfg = MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        };
+        // static kernel (RNG-driven, so the stream position matters too)
+        struct Flip;
+        impl Dispatcher for Flip {
+            fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, rng: &mut Rng64) -> usize {
+                rng.below(s.num_hosts() as u64) as usize
+            }
+            fn state_needs(&self) -> StateNeeds {
+                StateNeeds::NOTHING
+            }
+        }
+        let fast = simulate_dispatch(&t, 3, &mut Flip, 9, cfg);
+        let full = simulate_dispatch(&t, 3, &mut ForceFull(Flip), 9, cfg);
+        assert_eq!(fast.records.unwrap(), full.records.unwrap());
+        // work-left kernel
+        let fast = simulate_dispatch(&t, 3, &mut MiniLwl, 0, cfg);
+        let full = simulate_dispatch(&t, 3, &mut ForceFull(MiniLwl), 0, cfg);
+        assert_eq!(fast.records.unwrap(), full.records.unwrap());
+        // heterogeneous speeds through both kernels
+        let speeds = [1.0, 0.5, 2.0];
+        let fast = simulate_dispatch_speeds(&t, &speeds, &mut MiniLwl, 0, cfg);
+        let full = simulate_dispatch_speeds(&t, &speeds, &mut ForceFull(MiniLwl), 0, cfg);
+        assert_eq!(fast.records.unwrap(), full.records.unwrap());
+    }
+
+    #[test]
+    fn static_loop_still_reports_host_count() {
+        // NOTHING-policies may legitimately read `num_hosts()` (SITA's
+        // debug bounds check does); the frozen views keep the length.
+        struct CountCheck;
+        impl Dispatcher for CountCheck {
+            fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+                assert_eq!(s.num_hosts(), 4);
+                3
+            }
+            fn state_needs(&self) -> StateNeeds {
+                StateNeeds::NOTHING
+            }
+        }
+        let t = trace(&[(0.0, 1.0), (1.0, 2.0)]);
+        let r = simulate_dispatch(&t, 4, &mut CountCheck, 0, MetricsConfig::default());
+        assert_eq!(r.per_host[3].jobs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned host")]
+    fn out_of_range_dispatch_is_caught_in_static_loop() {
+        struct Bad;
+        impl Dispatcher for Bad {
+            fn dispatch(&mut self, _: &Job, _: &SystemState<'_>, _: &mut Rng64) -> usize {
+                7
+            }
+            fn state_needs(&self) -> StateNeeds {
+                StateNeeds::NOTHING
             }
         }
         let t = trace(&[(0.0, 1.0)]);

@@ -9,9 +9,11 @@
 //!
 //! * [`fast::simulate_dispatch`] — for **dispatch-on-arrival** policies
 //!   (every policy in the paper except Central-Queue). Each host's FCFS
-//!   queue satisfies the Lindley recursion, so per-job cost is O(log n)
-//!   (a heap pop for queue-length tracking) and tens of millions of jobs
-//!   simulate in seconds.
+//!   queue satisfies the Lindley recursion; the engine specializes its
+//!   hot loop to what the policy declares it reads ([`StateNeeds`]):
+//!   O(1) per job for static and work-left-only policies, with a
+//!   completion heap maintained only for queue-length-aware policies.
+//!   Tens of millions of jobs simulate in seconds.
 //! * [`event::EventEngine`] — a general event-driven engine with an
 //!   explicit event queue and host state machines. It additionally
 //!   supports **queueing policies** (Central-Queue variants) where jobs
@@ -42,4 +44,4 @@ pub use event::EventEngine;
 pub use fast::{simulate_dispatch, simulate_dispatch_speeds};
 pub use par::{available_workers, effective_workers, par_map, par_map_indexed};
 pub use metrics::{HostStats, JobRecord, MetricsConfig, SimResult};
-pub use state::{Dispatcher, HostView, QueueDiscipline, SystemState};
+pub use state::{Dispatcher, HostView, QueueDiscipline, StateNeeds, SystemState};

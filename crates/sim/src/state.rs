@@ -74,6 +74,51 @@ impl SystemState<'_> {
     }
 }
 
+/// Which [`HostView`] fields a dispatcher actually reads — the engine's
+/// licence to skip maintaining the rest.
+///
+/// The paper's static policies (Random, Round-Robin, SITA) read neither
+/// field, Least-Work-Left reads only [`HostView::work_left`] (which the
+/// Lindley `free_at` scalar provides for free), and only Shortest-Queue
+/// pays for per-host job counting. [`crate::fast::simulate_dispatch`]
+/// selects one of three specialized hot loops from this declaration; all
+/// three produce bit-identical schedules, because a dispatcher that does
+/// not read a field cannot observe whether it was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateNeeds(u8);
+
+impl StateNeeds {
+    /// Reads neither field (static policies): O(1) per job, no host
+    /// bookkeeping at all.
+    pub const NOTHING: StateNeeds = StateNeeds(0);
+    /// Reads [`HostView::work_left`] only (LWL family): heap-free loop.
+    pub const WORK_LEFT: StateNeeds = StateNeeds(1);
+    /// Reads [`HostView::queue_len`] only (Shortest-Queue): the engine
+    /// must track in-system job counts (a per-host completion heap).
+    pub const QUEUE_LEN: StateNeeds = StateNeeds(2);
+    /// Reads both fields — the safe default for unknown dispatchers.
+    pub const ALL: StateNeeds = StateNeeds(3);
+
+    /// Whether [`HostView::work_left`] must be populated.
+    #[must_use]
+    pub fn needs_work_left(self) -> bool {
+        self.0 & Self::WORK_LEFT.0 != 0
+    }
+
+    /// Whether [`HostView::queue_len`] must be populated.
+    #[must_use]
+    pub fn needs_queue_len(self) -> bool {
+        self.0 & Self::QUEUE_LEN.0 != 0
+    }
+}
+
+impl std::ops::BitOr for StateNeeds {
+    type Output = StateNeeds;
+    fn bitor(self, rhs: StateNeeds) -> StateNeeds {
+        StateNeeds(self.0 | rhs.0)
+    }
+}
+
 /// A task-assignment policy that picks a host the moment a job arrives.
 ///
 /// Implementations live in `dses-core`; the engine hands them the job,
@@ -90,6 +135,16 @@ pub trait Dispatcher {
 
     /// Reset any internal state (e.g. Round-Robin's counter) before a run.
     fn reset(&mut self) {}
+
+    /// Which [`HostView`] fields [`Dispatcher::dispatch`] reads.
+    ///
+    /// The default claims everything, which is always correct; policies
+    /// that read less should narrow it so the fast engine can drop the
+    /// corresponding bookkeeping. Declaring less than `dispatch` actually
+    /// reads yields views with stale zeros in the undeclared fields.
+    fn state_needs(&self) -> StateNeeds {
+        StateNeeds::ALL
+    }
 }
 
 /// Order in which a central queue hands jobs to idle hosts.
@@ -159,5 +214,30 @@ mod tests {
         let hosts = views(&[(0, 1.0)]);
         let s = SystemState { now: 0.0, hosts: &hosts };
         let _ = s.least_work_among(&[]);
+    }
+
+    #[test]
+    fn state_needs_flags() {
+        assert!(!StateNeeds::NOTHING.needs_work_left());
+        assert!(!StateNeeds::NOTHING.needs_queue_len());
+        assert!(StateNeeds::WORK_LEFT.needs_work_left());
+        assert!(!StateNeeds::WORK_LEFT.needs_queue_len());
+        assert!(!StateNeeds::QUEUE_LEN.needs_work_left());
+        assert!(StateNeeds::QUEUE_LEN.needs_queue_len());
+        assert!(StateNeeds::ALL.needs_work_left());
+        assert!(StateNeeds::ALL.needs_queue_len());
+        assert_eq!(StateNeeds::WORK_LEFT | StateNeeds::QUEUE_LEN, StateNeeds::ALL);
+        assert_eq!(StateNeeds::NOTHING | StateNeeds::WORK_LEFT, StateNeeds::WORK_LEFT);
+    }
+
+    #[test]
+    fn dispatcher_default_needs_everything() {
+        struct Blind;
+        impl Dispatcher for Blind {
+            fn dispatch(&mut self, _: &Job, _: &SystemState<'_>, _: &mut Rng64) -> usize {
+                0
+            }
+        }
+        assert_eq!(Blind.state_needs(), StateNeeds::ALL);
     }
 }
