@@ -15,8 +15,10 @@
 use dses_core::prelude::*;
 use dses_core::report::{fmt_num, Table};
 use dses_workload::{burstiness_report, Mmpp2, ReplayArrivals};
+use std::sync::Arc;
 
 fn main() {
+    let workers = dses_bench::workers_arg();
     let preset = dses_workload::psc_c90();
     let rho = 0.7;
     let hosts = 2;
@@ -64,20 +66,30 @@ fn main() {
         format!("burstiness decomposition at rho = {rho}, C90, 2 hosts (mean slowdown)"),
         &["arrivals", "gap C^2", "lag-1 corr", "LWL", "SITA-U-fair", "LWL/fair"],
     );
-    for (label, trace) in [
-        ("Poisson", &poisson_trace),
-        ("trace gaps, shuffled", &shuffled_trace),
-        ("trace gaps, ordered", &ordered_trace),
-    ] {
+    // The arrivals × policy grid fans out over --threads workers; cells
+    // are collected by index, so the table is identical for any count.
+    let traces: Arc<Vec<Arc<Trace>>> = Arc::new(
+        [poisson_trace, shuffled_trace, ordered_trace].into_iter().map(Arc::new).collect(),
+    );
+    let cells: Vec<f64> = {
+        let experiment = Arc::new(experiment);
+        let traces = Arc::clone(&traces);
+        dses_sim::par_map_indexed(traces.len() * 2, workers, move |g| {
+            let (t, s) = (g / 2, g % 2);
+            let spec = if s == 0 { PolicySpec::LeastWorkLeft } else { PolicySpec::SitaUFair };
+            experiment
+                .try_run_on_trace(&spec, &traces[t])
+                .map(|r| r.slowdown.mean)
+                .unwrap_or(f64::NAN)
+        })
+    };
+    for (t, label) in ["Poisson", "trace gaps, shuffled", "trace gaps, ordered"]
+        .into_iter()
+        .enumerate()
+    {
+        let trace = &traces[t];
         let b = burstiness_report(trace, 1, 2);
-        let lwl = experiment
-            .try_run_on_trace(&PolicySpec::LeastWorkLeft, trace)
-            .map(|r| r.slowdown.mean)
-            .unwrap_or(f64::NAN);
-        let fair = experiment
-            .try_run_on_trace(&PolicySpec::SitaUFair, trace)
-            .map(|r| r.slowdown.mean)
-            .unwrap_or(f64::NAN);
+        let (lwl, fair) = (cells[t * 2], cells[t * 2 + 1]);
         table.push_row(vec![
             label.to_string(),
             format!("{:.2}", b.interarrival_scv),

@@ -30,8 +30,9 @@ fn main() {
     // policies share one trace. Row order is fixed by index, so the
     // rendered table matches the old sequential loop exactly.
     let host_counts = [4usize, 8, 16];
-    let rows = dses_sim::par_map(&host_counts, dses_sim::available_workers(), |_, &hosts| {
-        let experiment = Experiment::new(preset.size_dist.clone())
+    let size_dist = preset.size_dist.clone();
+    let rows = dses_sim::par_map(&host_counts, dses_bench::workers_arg(), move |_, &hosts| {
+        let experiment = Experiment::new(size_dist.clone())
             .hosts(hosts)
             .jobs(60_000 * hosts)
             .warmup_jobs(5_000)

@@ -9,11 +9,13 @@ use dses_core::estimation::{MisclassifyingSita, NoisySizeInterval};
 use dses_core::prelude::*;
 use dses_core::report::{fmt_num, Table};
 use dses_sim::simulate_dispatch;
+use std::sync::Arc;
 
 fn main() {
+    let workers = dses_bench::workers_arg();
     let preset = dses_workload::psc_c90();
     let rho = 0.7;
-    let trace = preset.trace(200_000, rho, 2, 1997);
+    let trace = Arc::new(preset.trace(200_000, rho, 2, 1997));
     let cutoff =
         dses_queueing::cutoff::sita_u_fair_cutoff(&preset.size_dist, trace.arrival_rate())
             .unwrap();
@@ -27,9 +29,18 @@ fn main() {
         format!("SITA-U-fair under lognormal size-estimate noise (rho = {rho}, C90)"),
         &["sigma", "mean slowdown", "short E[S]", "long E[S]"],
     );
-    for sigma in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
-        let mut policy = NoisySizeInterval::new(vec![cutoff], sigma, "SITA-U-fair");
-        let r = simulate_dispatch(&trace, 2, &mut policy, 7, cfg);
+    // Both noise grids fan their independent runs over --threads
+    // workers; rows are collected by index, so the tables are identical
+    // for any worker count.
+    let sigmas = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0];
+    let noise_rows = {
+        let trace = Arc::clone(&trace);
+        dses_sim::par_map(&sigmas, workers, move |_, &sigma| {
+            let mut policy = NoisySizeInterval::new(vec![cutoff], sigma, "SITA-U-fair");
+            simulate_dispatch(&trace, 2, &mut policy, 7, cfg)
+        })
+    };
+    for (sigma, r) in sigmas.iter().zip(noise_rows) {
         noise_table.push_row(vec![
             format!("{sigma:.2}"),
             fmt_num(r.slowdown.mean),
@@ -43,7 +54,7 @@ fn main() {
         "SITA-U-fair under directional misclassification",
         &["shorts wrong", "longs wrong", "mean slowdown", "short E[S]", "long E[S]"],
     );
-    for (ps, pl) in [
+    let flips = [
         (0.0, 0.0),
         (0.05, 0.0),
         (0.25, 0.0),
@@ -51,9 +62,15 @@ fn main() {
         (0.0, 0.05),
         (0.05, 0.05),
         (0.5, 0.5),
-    ] {
-        let mut policy = MisclassifyingSita::asymmetric(cutoff, ps, pl);
-        let r = simulate_dispatch(&trace, 2, &mut policy, 7, cfg);
+    ];
+    let flip_rows = {
+        let trace = Arc::clone(&trace);
+        dses_sim::par_map(&flips, workers, move |_, &(ps, pl)| {
+            let mut policy = MisclassifyingSita::asymmetric(cutoff, ps, pl);
+            simulate_dispatch(&trace, 2, &mut policy, 7, cfg)
+        })
+    };
+    for ((ps, pl), r) in flips.into_iter().zip(flip_rows) {
         flip_table.push_row(vec![
             format!("{ps:.2}"),
             format!("{pl:.2}"),

@@ -44,21 +44,28 @@ fn main() {
             ),
         ),
     ];
-    for (scv, family, dist) in cases {
-        let experiment = Experiment::new(dist)
-            .hosts(2)
-            .jobs(150_000)
-            .warmup_jobs(5_000)
-            .seed(1997);
-        let run = |spec: &PolicySpec| -> f64 {
-            experiment
-                .try_run(spec, rho)
+    // The distribution × policy grid fans out over --threads workers;
+    // cells are collected by index, so the table is identical for any
+    // worker count.
+    let specs = [PolicySpec::LeastWorkLeft, PolicySpec::SitaE, PolicySpec::SitaUFair];
+    let cells: Vec<f64> = {
+        let dists: Arc<Vec<Arc<dyn Distribution>>> =
+            Arc::new(cases.iter().map(|(_, _, d)| Arc::clone(d)).collect());
+        let specs = specs.clone();
+        dses_sim::par_map_indexed(cases.len() * specs.len(), dses_bench::workers_arg(), move |g| {
+            let (c, s) = (g / specs.len(), g % specs.len());
+            Experiment::new(Arc::clone(&dists[c]))
+                .hosts(2)
+                .jobs(150_000)
+                .warmup_jobs(5_000)
+                .seed(1997)
+                .try_run(&specs[s], rho)
                 .map(|r| r.waiting.mean / mean) // waiting in units of E[X]
                 .unwrap_or(f64::NAN)
-        };
-        let lwl = run(&PolicySpec::LeastWorkLeft);
-        let sita_e = run(&PolicySpec::SitaE);
-        let fair = run(&PolicySpec::SitaUFair);
+        })
+    };
+    for (c, (scv, family, _)) in cases.into_iter().enumerate() {
+        let (lwl, sita_e, fair) = (cells[c * 3], cells[c * 3 + 1], cells[c * 3 + 2]);
         let winner = [("LWL", lwl), ("SITA-E", sita_e), ("SITA-U-fair", fair)]
             .into_iter()
             .filter(|(_, v)| v.is_finite())

@@ -7,6 +7,8 @@
 use std::process::Command;
 
 fn main() {
+    // forwarded to every child exhibit (0 = all cores)
+    let threads = dses_bench::threads_arg();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let bins = [
@@ -19,7 +21,11 @@ fn main() {
         println!("==== {bin}");
         println!("================================================================");
         let path = dir.join(bin);
-        let status = Command::new(&path).status();
+        let mut cmd = Command::new(&path);
+        if threads > 0 {
+            cmd.arg("--threads").arg(threads.to_string());
+        }
+        let status = cmd.status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),

@@ -13,6 +13,14 @@
 //! 3. **Cutoff solvers** — SITA-U solves/sec on the raw distribution vs
 //!    through the [`TruncatedMoments`] memoizing view, bit-identical
 //!    cutoffs required. Also in `BENCH_kernel.json`.
+//! 4. **Worker pool** — the persistent pool behind `par_map_indexed` vs
+//!    spawning a scoped thread team per batch, bit-identical grids
+//!    required. Written to `BENCH_pool.json`.
+//! 5. **Workspace reuse** — `simulate_dispatch_into` through one reused
+//!    [`SimWorkspace`] vs a freshly allocated workspace per run,
+//!    bit-identical results *and* zero steady-state allocations per run
+//!    (verified by the counting allocator) required. Also in
+//!    `BENCH_pool.json`.
 //!
 //! Run with `cargo run --release -p dses-bench --bin perf_report`
 //! (release strongly recommended: the full grid simulates ~1.4M jobs).
@@ -30,10 +38,14 @@ use dses_queueing::cutoff::{
     TruncatedMoments,
 };
 use dses_sim::metrics::JobRecord;
-use dses_sim::{available_workers, simulate_dispatch, MetricsConfig, SystemState};
-use dses_workload::Job;
+use dses_sim::{
+    available_workers, par_map_indexed, par_map_indexed_scoped, simulate_dispatch,
+    simulate_dispatch_into, MetricsConfig, SimResult, SimWorkspace, SystemState,
+};
+use dses_workload::{Job, Trace};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A pass-through allocator that tracks live and peak heap bytes, so the
@@ -43,10 +55,12 @@ struct CountingAlloc;
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static COUNT: AtomicUsize = AtomicUsize::new(0);
 
 fn on_alloc(size: usize) {
     let now = LIVE.fetch_add(size, Ordering::Relaxed) + size;
     PEAK.fetch_max(now, Ordering::Relaxed);
+    COUNT.fetch_add(1, Ordering::Relaxed);
 }
 
 unsafe impl GlobalAlloc for CountingAlloc {
@@ -85,6 +99,15 @@ fn peak_heap_of<R>(f: impl FnOnce() -> R) -> (R, usize) {
     let out = f();
     let peak = PEAK.load(Ordering::Relaxed);
     (out, peak.saturating_sub(base))
+}
+
+/// Number of heap allocations (including reallocations) performed while
+/// `f` ran. Meaningful on this thread only — run it with no concurrent
+/// work.
+fn alloc_count_of<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let base = COUNT.load(Ordering::Relaxed);
+    let out = f();
+    (out, COUNT.load(Ordering::Relaxed) - base)
 }
 
 /// Wraps a policy so it claims `StateNeeds::ALL` (the trait default):
@@ -165,7 +188,7 @@ fn kernel_bench(smoke: bool) -> Vec<KernelRow> {
         ),
         (
             "Shortest-Queue",
-            "full",
+            "queue-len",
             Box::new(|| Box::new(ShortestQueue)),
         ),
     ];
@@ -217,6 +240,223 @@ fn kernel_bench(smoke: bool) -> Vec<KernelRow> {
         rows.push(row);
     }
     rows
+}
+
+/// The queue-length kernel's headline row for `BENCH_pool.json`. Its
+/// per-arrival expiry check is O(1) — a tournament heap over the FIFO
+/// deque fronts — where the full loop scans every host's completion
+/// heap, so the win grows with host count: measured at 16 hosts and
+/// rho = 0.8 (the 8-host rho = 0.7 row stays in the kernel table for
+/// continuity with earlier reports).
+fn sq_kernel_bench(smoke: bool) -> KernelRow {
+    let preset = dses_workload::psc_c90();
+    let hosts = 16;
+    let jobs = if smoke { 6_000 } else { 200_000 };
+    let reps = if smoke { 2 } else { 5 };
+    let trace = preset.trace(jobs, 0.8, hosts, 1997);
+    println!("queue-length kernel at scale: {hosts} hosts, {jobs} jobs, C90 at rho=0.8");
+    let spec_secs = best_of(reps, || {
+        simulate_dispatch(&trace, hosts, &mut ShortestQueue, 7, MetricsConfig::streaming())
+    });
+    let full_secs = best_of(reps, || {
+        let mut full = ForceFull(Box::new(ShortestQueue));
+        simulate_dispatch(&trace, hosts, &mut full, 7, MetricsConfig::streaming())
+    });
+    let a = simulate_dispatch(&trace, hosts, &mut ShortestQueue, 7, MetricsConfig::full_records());
+    let b = {
+        let mut full = ForceFull(Box::new(ShortestQueue));
+        simulate_dispatch(&trace, hosts, &mut full, 7, MetricsConfig::full_records())
+    };
+    let identical =
+        records_bitwise_equal(a.records.as_deref().unwrap(), b.records.as_deref().unwrap());
+    let row = KernelRow {
+        policy: "Shortest-Queue",
+        loop_kind: "queue-len",
+        full_jps: jobs as f64 / full_secs,
+        specialized_jps: jobs as f64 / spec_secs,
+        identical,
+    };
+    println!(
+        "  full-heap {:>10}/s  fifo-deque {:>10}/s  ({:.2}x, identical: {})",
+        fmt_rate(row.full_jps),
+        fmt_rate(row.specialized_jps),
+        row.specialized_jps / row.full_jps,
+        row.identical
+    );
+    row
+}
+
+fn sim_results_bitwise_equal(a: &[SimResult], b: &[SimResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.measured == y.measured
+                && x.slowdown.mean.to_bits() == y.slowdown.mean.to_bits()
+                && x.slowdown.variance.to_bits() == y.slowdown.variance.to_bits()
+                && x.response.mean.to_bits() == y.response.mean.to_bits()
+                && x.makespan.to_bits() == y.makespan.to_bits()
+        })
+}
+
+struct PoolBench {
+    tasks: usize,
+    jobs_per_task: usize,
+    workers: usize,
+    scoped_secs: f64,
+    pooled_secs: f64,
+    identical: bool,
+}
+
+/// Section 4: the persistent worker pool vs spawning a scoped thread
+/// team per batch — the same grid of independent simulation runs through
+/// both executors.
+fn pool_bench(smoke: bool) -> PoolBench {
+    let preset = dses_workload::psc_c90();
+    let jobs = if smoke { 1_500 } else { 20_000 };
+    let tasks = if smoke { 16 } else { 64 };
+    let reps = if smoke { 1 } else { 3 };
+    let workers = available_workers();
+    let trace = Arc::new(preset.trace(jobs, 0.7, 2, 1997));
+    println!("worker pool vs scoped spawn: {tasks} runs x {jobs} jobs, {workers} workers");
+    let run_one = |i: usize, trace: &Trace| {
+        simulate_dispatch(trace, 2, &mut LeastWorkLeft, i as u64, MetricsConfig::streaming())
+    };
+    let scoped_secs = best_of(reps, || {
+        par_map_indexed_scoped(tasks, workers, |i| run_one(i, &trace))
+    });
+    let pooled_secs = best_of(reps, || {
+        let trace = Arc::clone(&trace);
+        par_map_indexed(tasks, workers, move |i| run_one(i, &trace))
+    });
+    // correctness: sequential loop, scoped team, and pool must agree to
+    // the bit (collection is by grid index in both executors)
+    let reference: Vec<SimResult> = (0..tasks).map(|i| run_one(i, &trace)).collect();
+    let scoped = par_map_indexed_scoped(tasks, workers, |i| run_one(i, &trace));
+    let pooled = {
+        let trace = Arc::clone(&trace);
+        par_map_indexed(tasks, workers, move |i| run_one(i, &trace))
+    };
+    let identical = sim_results_bitwise_equal(&reference, &scoped)
+        && sim_results_bitwise_equal(&reference, &pooled);
+    let bench = PoolBench {
+        tasks,
+        jobs_per_task: jobs,
+        workers,
+        scoped_secs,
+        pooled_secs,
+        identical,
+    };
+    println!(
+        "  scoped spawn {:>10}/batch  pool {:>10}/batch  ({:.2}x, identical: {})",
+        fmt_duration(std::time::Duration::from_secs_f64(bench.scoped_secs)),
+        fmt_duration(std::time::Duration::from_secs_f64(bench.pooled_secs)),
+        bench.scoped_secs / bench.pooled_secs,
+        bench.identical
+    );
+    bench
+}
+
+struct WorkspaceBench {
+    jobs: usize,
+    hosts: usize,
+    fresh_jps: f64,
+    reused_jps: f64,
+    steady_allocs_per_run: usize,
+    identical: bool,
+}
+
+/// Section 5: `simulate_dispatch_into` through one long-lived
+/// [`SimWorkspace`] vs a freshly allocated workspace per run, plus the
+/// headline claim: a reused workspace performs **zero** heap allocations
+/// per run in steady state (streaming metrics), measured by the counting
+/// allocator.
+fn workspace_bench(smoke: bool) -> WorkspaceBench {
+    let preset = dses_workload::psc_c90();
+    let jobs = if smoke { 4_000 } else { 200_000 };
+    let reps = if smoke { 1 } else { 3 };
+    let hosts = 4;
+    let trace = preset.trace(jobs, 0.7, hosts, 1997);
+    println!("workspace reuse: {hosts} hosts, {jobs} jobs, streaming metrics");
+
+    let fresh_secs = best_of(reps, || {
+        let mut ws = SimWorkspace::new();
+        let mut out = SimResult::empty();
+        simulate_dispatch_into(
+            &trace,
+            hosts,
+            &mut LeastWorkLeft,
+            7,
+            MetricsConfig::streaming(),
+            &mut ws,
+            &mut out,
+        );
+        out.measured
+    });
+
+    let mut ws = SimWorkspace::new();
+    let mut out = SimResult::empty();
+    let mut sq = ShortestQueue;
+    // warm the workspace to this shape once (both kernels), then measure
+    simulate_dispatch_into(&trace, hosts, &mut LeastWorkLeft, 7, MetricsConfig::streaming(), &mut ws, &mut out);
+    simulate_dispatch_into(&trace, hosts, &mut sq, 7, MetricsConfig::streaming(), &mut ws, &mut out);
+    let reused_secs = best_of(reps, || {
+        simulate_dispatch_into(
+            &trace,
+            hosts,
+            &mut LeastWorkLeft,
+            7,
+            MetricsConfig::streaming(),
+            &mut ws,
+            &mut out,
+        );
+        out.measured
+    });
+
+    // the zero-allocation claim: steady-state runs through the warmed
+    // workspace — work-left and queue-length kernels alike — must not
+    // touch the allocator at all
+    let count_runs = if smoke { 2 } else { 5 };
+    let (_, allocs) = alloc_count_of(|| {
+        for _ in 0..count_runs {
+            simulate_dispatch_into(&trace, hosts, &mut LeastWorkLeft, 7, MetricsConfig::streaming(), &mut ws, &mut out);
+            simulate_dispatch_into(&trace, hosts, &mut sq, 7, MetricsConfig::streaming(), &mut ws, &mut out);
+        }
+    });
+    let steady_allocs_per_run = allocs / (2 * count_runs);
+
+    // correctness: a run through the well-used workspace must equal a
+    // fresh-workspace run record-for-record
+    let identical = {
+        let mut fresh_ws = SimWorkspace::new();
+        let mut fresh_out = SimResult::empty();
+        simulate_dispatch_into(&trace, hosts, &mut sq, 7, MetricsConfig::full_records(), &mut fresh_ws, &mut fresh_out);
+        simulate_dispatch_into(&trace, hosts, &mut sq, 7, MetricsConfig::full_records(), &mut ws, &mut out);
+        records_bitwise_equal(
+            fresh_out.records.as_deref().unwrap(),
+            out.records.as_deref().unwrap(),
+        )
+    };
+
+    let bench = WorkspaceBench {
+        jobs,
+        hosts,
+        fresh_jps: jobs as f64 / fresh_secs,
+        reused_jps: jobs as f64 / reused_secs,
+        steady_allocs_per_run,
+        identical,
+    };
+    println!(
+        "  fresh workspace {:>10}/s  reused {:>10}/s  ({:.2}x, identical: {})",
+        fmt_rate(bench.fresh_jps),
+        fmt_rate(bench.reused_jps),
+        bench.reused_jps / bench.fresh_jps,
+        bench.identical
+    );
+    println!(
+        "  steady-state allocations per run (counted over {} runs): {}",
+        2 * count_runs,
+        bench.steady_allocs_per_run
+    );
+    bench
 }
 
 /// [`BoundedPareto`] with its closed-form moments hidden: only
@@ -434,9 +674,24 @@ fn main() {
 
     let kernels = kernel_bench(smoke);
     let cutoffs = cutoff_bench(smoke);
+    let pool = pool_bench(smoke);
+    let workspace = workspace_bench(smoke);
+    let sq = sq_kernel_bench(smoke);
 
-    let kernels_identical = kernels.iter().all(|r| r.identical);
-    let bit_identical = sweep_identical && kernels_identical && cutoffs.identical;
+    let kernels_identical = kernels.iter().all(|r| r.identical) && sq.identical;
+    let zero_alloc = workspace.steady_allocs_per_run == 0;
+    if !zero_alloc {
+        eprintln!(
+            "ERROR: reused workspace performed {} allocations per steady-state run (expected 0)",
+            workspace.steady_allocs_per_run
+        );
+    }
+    let bit_identical = sweep_identical
+        && kernels_identical
+        && cutoffs.identical
+        && pool.identical
+        && workspace.identical
+        && zero_alloc;
 
     if !smoke {
         let json = format!(
@@ -488,6 +743,30 @@ fn main() {
         );
         std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
         println!("wrote BENCH_kernel.json");
+
+        let json = format!(
+            "{{\n  \"pool\": {{\"tasks\": {}, \"jobs_per_task\": {}, \"workers\": {}, \"scoped_spawn_secs\": {:.4}, \"pool_secs\": {:.4}, \"speedup\": {:.3}, \"bit_identical\": {}}},\n  \"workspace\": {{\"jobs\": {}, \"hosts\": {}, \"fresh_jobs_per_sec\": {:.0}, \"reused_jobs_per_sec\": {:.0}, \"speedup\": {:.3}, \"steady_state_allocs_per_run\": {}, \"bit_identical\": {}}},\n  \"queue_len_kernel\": {{\"policy\": \"Shortest-Queue\", \"hosts\": 16, \"rho\": 0.8, \"full_heap_jobs_per_sec\": {:.0}, \"fifo_deque_jobs_per_sec\": {:.0}, \"speedup\": {:.3}, \"bit_identical\": {}}},\n  \"bit_identical\": {bit_identical}\n}}\n",
+            pool.tasks,
+            pool.jobs_per_task,
+            pool.workers,
+            pool.scoped_secs,
+            pool.pooled_secs,
+            pool.scoped_secs / pool.pooled_secs,
+            pool.identical,
+            workspace.jobs,
+            workspace.hosts,
+            workspace.fresh_jps,
+            workspace.reused_jps,
+            workspace.reused_jps / workspace.fresh_jps,
+            workspace.steady_allocs_per_run,
+            workspace.identical,
+            sq.full_jps,
+            sq.specialized_jps,
+            sq.specialized_jps / sq.full_jps,
+            sq.identical,
+        );
+        std::fs::write("BENCH_pool.json", &json).expect("write BENCH_pool.json");
+        println!("wrote BENCH_pool.json");
     }
 
     if !bit_identical {

@@ -14,6 +14,39 @@ use dses_core::prelude::*;
 use dses_core::report::{fmt_num, Table};
 use dses_workload::WorkloadPreset;
 
+/// Parse `--threads <n>` (or `--threads=<n>`) from this process's
+/// command line: worker threads for an exhibit's simulation fan-out.
+/// `0` — the default when the flag is absent — means one worker per
+/// available core. Exhibits are bit-for-bit identical for every value;
+/// the flag only changes wall-clock time.
+#[must_use]
+pub fn threads_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if let Some(v) = a.strip_prefix("--threads=") {
+            v.to_string()
+        } else if a == "--threads" {
+            args.next().unwrap_or_default()
+        } else {
+            continue;
+        };
+        return value.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --threads value {value:?}; expected a non-negative integer");
+            std::process::exit(2);
+        });
+    }
+    0
+}
+
+/// The worker count [`threads_arg`] resolves to (`0` → all cores).
+#[must_use]
+pub fn workers_arg() -> usize {
+    dses_sim::effective_workers({
+        let t = threads_arg();
+        (t > 0).then_some(t)
+    })
+}
+
 /// The load grid used by the simulation figures (the paper plots up to
 /// 0.8 "because otherwise they become unreadable" but discusses all
 /// loads under 1; we include 0.9).
@@ -40,7 +73,9 @@ pub const EXHIBIT_WARMUP: usize = 5_000;
 /// rescaled per load — our builder reuses the same size stream per seed).
 pub const EXHIBIT_SEED: u64 = 1997;
 
-/// Build the standard exhibit experiment for a preset.
+/// Build the standard exhibit experiment for a preset. Honors a
+/// `--threads <n>` flag on the binary's command line (see
+/// [`threads_arg`]), so every exhibit accepts the same knob.
 #[must_use]
 pub fn exhibit_experiment(preset: &WorkloadPreset, hosts: usize) -> Experiment<Mixture> {
     Experiment::new(preset.size_dist.clone())
@@ -48,6 +83,7 @@ pub fn exhibit_experiment(preset: &WorkloadPreset, hosts: usize) -> Experiment<M
         .jobs(EXHIBIT_JOBS)
         .warmup_jobs(EXHIBIT_WARMUP)
         .seed(EXHIBIT_SEED)
+        .threads(threads_arg())
 }
 
 /// Render a set of policy sweeps as two tables (mean slowdown and

@@ -230,13 +230,25 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
                 .map(|spec| LoadSweep { policy: spec.name(), points: Vec::new() })
                 .collect();
         }
+        // The pool's workers outlive any one call, so grid tasks capture
+        // shared ownership (`Arc`) of the experiment and inputs rather
+        // than borrowing from this stack frame.
+        let this = Arc::new(self.clone());
         // Phase 1: one trace per load, built in parallel, shared below.
-        let traces: Vec<Arc<Trace>> = par_map(loads, workers, |_, &rho| Arc::new(self.trace(rho)));
+        let traces: Arc<Vec<Arc<Trace>>> = {
+            let this = Arc::clone(&this);
+            Arc::new(par_map(loads, workers, move |_, &rho| {
+                Arc::new(this.trace(rho))
+            }))
+        };
         // Phase 2: the flat specs × loads grid of independent runs.
-        let grid = par_map_indexed(specs.len() * loads.len(), workers, |g| {
-            let (s, l) = (g / loads.len(), g % loads.len());
-            let result = self.try_run_on_trace(&specs[s], &traces[l]);
-            SweepPoint::from_result(loads[l], result.ok())
+        let shared_specs: Arc<Vec<PolicySpec>> = Arc::new(specs.to_vec());
+        let shared_loads: Arc<Vec<f64>> = Arc::new(loads.to_vec());
+        let n_loads = loads.len();
+        let grid = par_map_indexed(specs.len() * n_loads, workers, move |g| {
+            let (s, l) = (g / n_loads, g % n_loads);
+            let result = this.try_run_on_trace(&shared_specs[s], &traces[l]);
+            SweepPoint::from_result(shared_loads[l], result.ok())
         });
         specs
             .iter()
@@ -313,9 +325,11 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
         replications: usize,
     ) -> Result<Replicated, CutoffError> {
         assert!(replications >= 1, "need at least one replication");
-        let samples = par_map_indexed(replications, self.workers(), |r| {
-            let clone = self.clone().seed(derive_seed(self.seed, r as u64));
-            clone.try_run(spec, rho).map(|result| result.slowdown.mean)
+        let this = Arc::new(self.clone());
+        let spec = spec.clone();
+        let samples = par_map_indexed(replications, self.workers(), move |r| {
+            let clone = (*this).clone().seed(derive_seed(this.seed, r as u64));
+            clone.try_run(&spec, rho).map(|result| result.slowdown.mean)
         })
         .into_iter()
         .collect::<Result<Vec<f64>, CutoffError>>()?;

@@ -85,11 +85,30 @@ impl Histogram {
 /// `record(size, slowdown)` bins by `size` and accumulates `slowdown`
 /// statistics inside the bin — exactly the "expected slowdown vs job size"
 /// fairness curve of the paper's §4.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct LogHistogram {
     log_lo: f64,
     log_hi: f64,
     bins: Vec<OnlineMoments>,
+}
+
+// Hand-written so `clone_from` reuses the destination's bin buffer:
+// reusable simulation results copy a workspace histogram every run, and
+// the derived `clone_from` (`*self = source.clone()`) would reallocate.
+impl Clone for LogHistogram {
+    fn clone(&self) -> Self {
+        Self {
+            log_lo: self.log_lo,
+            log_hi: self.log_hi,
+            bins: self.bins.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.log_lo = source.log_lo;
+        self.log_hi = source.log_hi;
+        self.bins.clone_from(&source.bins);
+    }
 }
 
 impl LogHistogram {
@@ -107,6 +126,26 @@ impl LogHistogram {
             log_lo: lo.log10(),
             log_hi: hi.log10(),
             bins: vec![OnlineMoments::new(); bins],
+        }
+    }
+
+    /// Whether this histogram has exactly the layout `new(lo, hi, bins)`
+    /// would produce (bitwise edge comparison). Reusable collectors use
+    /// this to [`reset`](Self::reset) in place instead of reallocating.
+    #[must_use]
+    pub fn has_layout(&self, lo: f64, hi: f64, bins: usize) -> bool {
+        lo > 0.0
+            && hi > lo
+            && self.bins.len() == bins
+            && self.log_lo.to_bits() == lo.log10().to_bits()
+            && self.log_hi.to_bits() == hi.log10().to_bits()
+    }
+
+    /// Forget every observation, keeping the bin layout and the bin
+    /// buffer (allocation-free).
+    pub fn reset(&mut self) {
+        for bin in &mut self.bins {
+            *bin = OnlineMoments::new();
         }
     }
 

@@ -51,6 +51,14 @@ impl P2Quantile {
         self.q
     }
 
+    /// Forget every observation, returning to the exact state of
+    /// [`P2Quantile::new`] for the same quantile. Allocation-free — the
+    /// estimator is five fixed markers — so long-lived simulation
+    /// workspaces can reuse it run after run.
+    pub fn reset(&mut self) {
+        *self = Self::new(self.q);
+    }
+
     /// Number of observations so far.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -177,6 +185,14 @@ impl QuantileSet {
         }
     }
 
+    /// Forget every observation while keeping the tracked quantiles.
+    /// Allocation-free (see [`P2Quantile::reset`]).
+    pub fn reset(&mut self) {
+        for e in &mut self.estimators {
+            e.reset();
+        }
+    }
+
     /// `(q, estimate)` pairs.
     #[must_use]
     pub fn estimates(&self) -> Vec<(f64, f64)> {
@@ -184,6 +200,13 @@ impl QuantileSet {
             .iter()
             .map(|e| (e.q(), e.estimate()))
             .collect()
+    }
+
+    /// Write the `(q, estimate)` pairs into `out`, reusing its capacity
+    /// (the zero-allocation path for reusable result buffers).
+    pub fn estimates_into(&self, out: &mut Vec<(f64, f64)>) {
+        out.clear();
+        out.extend(self.estimators.iter().map(|e| (e.q(), e.estimate())));
     }
 
     /// The estimate for a specific tracked quantile (panics if untracked).

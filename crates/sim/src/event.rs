@@ -15,12 +15,19 @@
 //! processed before arrivals (a host that frees exactly when a job
 //! arrives is seen as idle), matching the Lindley-recursion semantics of
 //! the fast engine so the two agree bit-for-bit.
+//!
+//! Like the fast engine, all per-run state (host state machines, the
+//! departure heap, the central waiting room) lives in an
+//! [`EventWorkspace`] inside a [`SimWorkspace`]: `run_dispatch_into` /
+//! `run_central_queue_into` borrow one explicitly and reset it without
+//! freeing; the plain entry points use the thread-local workspace.
 
 use std::collections::VecDeque;
 
 use crate::fast::OrdF64;
-use crate::metrics::{Collector, JobRecord, MetricsConfig, SimResult};
+use crate::metrics::{JobRecord, MetricsConfig, SimResult};
 use crate::state::{Dispatcher, HostView, QueueDiscipline, SystemState};
+use crate::workspace::{with_thread_workspace, SimWorkspace};
 use dses_dist::Rng64;
 use dses_workload::{Job, Trace};
 use std::cmp::Reverse;
@@ -43,13 +50,22 @@ struct Host {
 }
 
 impl Host {
-    fn new(speed: f64) -> Self {
+    fn new(speed: f64, backlog: usize) -> Self {
         Self {
             serving: None,
-            queue: VecDeque::with_capacity(16),
+            queue: VecDeque::with_capacity(backlog),
             free_at: 0.0,
             speed,
         }
+    }
+
+    /// Return to the initial state for a new run, keeping the queue's
+    /// allocation and adopting this run's `speed`.
+    fn reset(&mut self, speed: f64) {
+        self.serving = None;
+        self.queue.clear();
+        self.free_at = 0.0;
+        self.speed = speed;
     }
 
     fn view(&self, now: f64) -> HostView {
@@ -65,7 +81,7 @@ impl Host {
     }
 
     /// Account for an accepted job (Lindley update), mirroring the fast
-    /// engine's `HostSim::assign`.
+    /// engine's assignment arithmetic.
     fn accept(&mut self, job: &Job, now: f64) {
         self.free_at = self.free_at.max(now) + job.size / self.speed;
     }
@@ -84,6 +100,67 @@ impl Host {
 
     fn dequeue(&mut self) -> Option<Job> {
         self.queue.pop_front()
+    }
+}
+
+/// Reusable state for the event-driven engine: host state machines, the
+/// departure heap, policy views, and the central-queue waiting room.
+/// Lives inside [`SimWorkspace`]; reset (without freeing) at the start of
+/// every run.
+#[derive(Debug)]
+pub(crate) struct EventWorkspace {
+    hosts: Vec<Host>,
+    departures: BinaryHeap<Reverse<(OrdF64, usize)>>,
+    views: Vec<HostView>,
+    /// central waiting room, FCFS order
+    fcfs: VecDeque<Job>,
+    /// SJF: min-heap on (size, arrival sequence) — FCFS among equals
+    sjf: BinaryHeap<Reverse<(OrdF64, u64)>>,
+    sjf_jobs: std::collections::HashMap<u64, Job>,
+}
+
+impl EventWorkspace {
+    pub(crate) fn new() -> Self {
+        Self {
+            hosts: Vec::new(),
+            departures: BinaryHeap::new(),
+            views: Vec::new(),
+            fcfs: VecDeque::new(),
+            sjf: BinaryHeap::new(),
+            sjf_jobs: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Shape the workspace for a run over hosts with `speeds`, keeping
+    /// every allocation. `backlog` sizes each host's waiting room (and
+    /// the central room) from the trace, replacing the old fixed
+    /// capacities that regrew mid-simulation on large runs.
+    fn reset(&mut self, speeds: &[f64], backlog: usize) {
+        let hosts = speeds.len();
+        self.hosts.truncate(hosts);
+        for (host, &speed) in self.hosts.iter_mut().zip(speeds) {
+            host.reset(speed);
+            host.queue.reserve(backlog.saturating_sub(host.queue.capacity()));
+        }
+        while self.hosts.len() < hosts {
+            self.hosts.push(Host::new(speeds[self.hosts.len()], backlog));
+        }
+        self.departures.clear();
+        // at most one in-service job per host can sit in the heap
+        self.departures.reserve(hosts.saturating_sub(self.departures.capacity()));
+        self.views.clear();
+        self.views.resize(
+            hosts,
+            HostView {
+                queue_len: 0,
+                work_left: 0.0,
+            },
+        );
+        self.fcfs.clear();
+        self.fcfs.reserve(backlog.saturating_sub(self.fcfs.capacity()));
+        self.sjf.clear();
+        self.sjf.reserve(backlog.saturating_sub(self.sjf.capacity()));
+        self.sjf_jobs.clear();
     }
 }
 
@@ -122,7 +199,8 @@ impl EventEngine {
     }
 
     /// Run a dispatch-on-arrival policy. Produces exactly the schedule of
-    /// [`crate::fast::simulate_dispatch`].
+    /// [`crate::fast::simulate_dispatch`]. Uses the thread-local
+    /// workspace; see [`EventEngine::run_dispatch_into`].
     #[must_use]
     pub fn run_dispatch<P: Dispatcher + ?Sized>(
         &self,
@@ -130,22 +208,36 @@ impl EventEngine {
         policy: &mut P,
         seed: u64,
     ) -> SimResult {
+        with_thread_workspace(|ws| {
+            let mut out = SimResult::empty();
+            self.run_dispatch_into(trace, policy, seed, ws, &mut out);
+            out
+        })
+    }
+
+    /// [`EventEngine::run_dispatch`] through caller-owned buffers
+    /// (allocation-free in steady state, like
+    /// [`crate::fast::simulate_dispatch_into`]).
+    pub fn run_dispatch_into<P: Dispatcher + ?Sized>(
+        &self,
+        trace: &Trace,
+        policy: &mut P,
+        seed: u64,
+        ws: &mut SimWorkspace,
+        out: &mut SimResult,
+    ) {
         policy.reset();
         let mut rng = Rng64::seed_from(seed).stream(0xD15);
-        let mut hosts: Vec<Host> = self.speeds.iter().map(|&s| Host::new(s)).collect();
-        // at most one in-service job per host can sit in the heap
-        let mut departures: BinaryHeap<Reverse<(OrdF64, usize)>> =
-            BinaryHeap::with_capacity(self.num_hosts());
-        let mut collector = Collector::with_job_hint(self.num_hosts(), self.cfg, trace.len());
+        ws.event.reset(&self.speeds, trace.backlog_hint(self.num_hosts()));
+        ws.collector.reset(self.num_hosts(), self.cfg, trace.len());
+        let SimWorkspace {
+            collector, event, ..
+        } = ws;
+        let hosts = &mut event.hosts;
+        let departures = &mut event.departures;
+        let views = &mut event.views;
         let jobs = trace.jobs();
         let mut next = 0usize;
-        let mut views = vec![
-            HostView {
-                queue_len: 0,
-                work_left: 0.0
-            };
-            self.num_hosts()
-        ];
         loop {
             let arrival_time = jobs.get(next).map(|j| j.arrival);
             let departure_time = departures.peek().map(|Reverse((OrdF64(t), _))| *t);
@@ -178,7 +270,7 @@ impl EventEngine {
                     }
                     let state = SystemState {
                         now,
-                        hosts: &views,
+                        hosts: views.as_slice(),
                     };
                     let target = policy.dispatch(&job, &state, &mut rng);
                     assert!(
@@ -198,35 +290,61 @@ impl EventEngine {
                 (None, Some(_)) => unreachable!("covered by the departure arm"),
             }
         }
-        collector.finish()
+        collector.finish_into(out);
     }
 
     /// Run a central-queue policy: jobs are held at the dispatcher and an
     /// idle host (lowest index first) pulls the next job per `discipline`.
+    /// Uses the thread-local workspace; see
+    /// [`EventEngine::run_central_queue_into`].
     #[must_use]
     pub fn run_central_queue(&self, trace: &Trace, discipline: QueueDiscipline) -> SimResult {
-        let mut hosts: Vec<Host> = self.speeds.iter().map(|&s| Host::new(s)).collect();
-        // at most one in-service job per host can sit in the heap
-        let mut departures: BinaryHeap<Reverse<(OrdF64, usize)>> =
-            BinaryHeap::with_capacity(self.num_hosts());
-        let mut collector = Collector::with_job_hint(self.num_hosts(), self.cfg, trace.len());
-        // central waiting room
-        let mut fcfs: VecDeque<Job> = VecDeque::with_capacity(64);
-        // SJF: min-heap on (size, arrival sequence) — FCFS among equals
-        let mut sjf: BinaryHeap<Reverse<(OrdF64, u64)>> = BinaryHeap::with_capacity(64);
-        let mut sjf_jobs: std::collections::HashMap<u64, Job> = std::collections::HashMap::new();
-        let push_central = |job: Job, fcfs: &mut VecDeque<Job>, sjf: &mut BinaryHeap<Reverse<(OrdF64, u64)>>, sjf_jobs: &mut std::collections::HashMap<u64, Job>| match discipline {
-            QueueDiscipline::Fcfs => fcfs.push_back(job),
-            QueueDiscipline::Sjf => {
-                sjf.push(Reverse((OrdF64(job.size), job.id)));
-                sjf_jobs.insert(job.id, job);
+        with_thread_workspace(|ws| {
+            let mut out = SimResult::empty();
+            self.run_central_queue_into(trace, discipline, ws, &mut out);
+            out
+        })
+    }
+
+    /// [`EventEngine::run_central_queue`] through caller-owned buffers.
+    pub fn run_central_queue_into(
+        &self,
+        trace: &Trace,
+        discipline: QueueDiscipline,
+        ws: &mut SimWorkspace,
+        out: &mut SimResult,
+    ) {
+        ws.event.reset(&self.speeds, trace.backlog_hint(1));
+        ws.collector.reset(self.num_hosts(), self.cfg, trace.len());
+        let SimWorkspace {
+            collector, event, ..
+        } = ws;
+        let hosts = &mut event.hosts;
+        let departures = &mut event.departures;
+        let fcfs = &mut event.fcfs;
+        let sjf = &mut event.sjf;
+        let sjf_jobs = &mut event.sjf_jobs;
+        let push_central = |job: Job,
+                            fcfs: &mut VecDeque<Job>,
+                            sjf: &mut BinaryHeap<Reverse<(OrdF64, u64)>>,
+                            sjf_jobs: &mut std::collections::HashMap<u64, Job>| {
+            match discipline {
+                QueueDiscipline::Fcfs => fcfs.push_back(job),
+                QueueDiscipline::Sjf => {
+                    sjf.push(Reverse((OrdF64(job.size), job.id)));
+                    sjf_jobs.insert(job.id, job);
+                }
             }
         };
-        let pop_central = |fcfs: &mut VecDeque<Job>, sjf: &mut BinaryHeap<Reverse<(OrdF64, u64)>>, sjf_jobs: &mut std::collections::HashMap<u64, Job>| match discipline {
-            QueueDiscipline::Fcfs => fcfs.pop_front(),
-            QueueDiscipline::Sjf => sjf
-                .pop()
-                .map(|Reverse((_, id))| sjf_jobs.remove(&id).expect("job stored")),
+        let pop_central = |fcfs: &mut VecDeque<Job>,
+                           sjf: &mut BinaryHeap<Reverse<(OrdF64, u64)>>,
+                           sjf_jobs: &mut std::collections::HashMap<u64, Job>| {
+            match discipline {
+                QueueDiscipline::Fcfs => fcfs.pop_front(),
+                QueueDiscipline::Sjf => sjf
+                    .pop()
+                    .map(|Reverse((_, id))| sjf_jobs.remove(&id).expect("job stored")),
+            }
         };
         let jobs = trace.jobs();
         let mut next = 0usize;
@@ -247,7 +365,7 @@ impl EventEngine {
                         completion,
                         host: h,
                     });
-                    if let Some(nextjob) = pop_central(&mut fcfs, &mut sjf, &mut sjf_jobs) {
+                    if let Some(nextjob) = pop_central(fcfs, sjf, sjf_jobs) {
                         let c = hosts[h].start_service(nextjob, now);
                         departures.push(Reverse((OrdF64(c), h)));
                     }
@@ -260,13 +378,13 @@ impl EventEngine {
                             let c = hosts[h].start_service(job, now);
                             departures.push(Reverse((OrdF64(c), h)));
                         }
-                        None => push_central(job, &mut fcfs, &mut sjf, &mut sjf_jobs),
+                        None => push_central(job, fcfs, sjf, sjf_jobs),
                     }
                 }
                 (None, Some(_)) => unreachable!("covered by the departure arm"),
             }
         }
-        collector.finish()
+        collector.finish_into(out);
     }
 }
 
@@ -319,6 +437,21 @@ mod tests {
         fr.sort_by_key(|r| r.id);
         er.sort_by_key(|r| r.id);
         assert_eq!(fr, er);
+    }
+
+    #[test]
+    fn explicit_workspace_matches_thread_local_path() {
+        let t = trace(&[(0.0, 5.0), (1.0, 1.0), (1.5, 8.0), (2.0, 0.5)]);
+        let engine = EventEngine::new(2, records_cfg());
+        let implicit = engine.run_dispatch(&t, &mut MiniLwl, 0);
+        let mut ws = SimWorkspace::new();
+        let mut out = SimResult::empty();
+        engine.run_dispatch_into(&t, &mut MiniLwl, 0, &mut ws, &mut out);
+        assert_eq!(implicit.records.unwrap(), out.records.clone().unwrap());
+        // and the central queue through the same (now dirty) workspace
+        let implicit = engine.run_central_queue(&t, QueueDiscipline::Sjf);
+        engine.run_central_queue_into(&t, QueueDiscipline::Sjf, &mut ws, &mut out);
+        assert_eq!(implicit.records.unwrap(), out.records.unwrap());
     }
 
     #[test]

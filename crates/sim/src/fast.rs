@@ -10,7 +10,7 @@
 //! The engine is **specialized to the policy**: a dispatcher declares
 //! which [`HostView`] fields it reads via
 //! [`Dispatcher::state_needs`](crate::state::StateNeeds), and the engine
-//! picks one of three hot loops:
+//! picks one of four hot loops:
 //!
 //! * **static** (`NOTHING`, e.g. Random/Round-Robin/SITA) — O(1) per
 //!   job: the Lindley scalar per host is all the state there is, and the
@@ -18,24 +18,37 @@
 //! * **work-left** (`WORK_LEFT`, e.g. Least-Work-Left) — O(h) per job,
 //!   heap-free: `work_left = max(free_at − now, 0)` falls out of the
 //!   Lindley scalar;
-//! * **full** (`QUEUE_LEN` demanded, e.g. Shortest-Queue) — a per-host
-//!   min-heap of completion times maintains in-system job counts.
+//! * **queue-length** (`QUEUE_LEN` only, e.g. Shortest-Queue) — an FCFS
+//!   run-to-completion host completes jobs in assignment order
+//!   (`completion = max(now, free_at) + service ≥ free_at`, the previous
+//!   completion), so its in-system completion times form a **monotone
+//!   FIFO deque** — push new completions at the back, pop expired ones
+//!   off the front. Queue lengths update incrementally, and a tournament
+//!   heap over the deque fronts (≤ one entry per non-empty host) makes
+//!   the per-arrival expiry check O(1) instead of an O(h) scan;
+//! * **full** (`ALL`, the default for policies that declare nothing) —
+//!   per-host completion min-heaps maintain counts *and* work; this is
+//!   also the reference loop the specialized ones are tested against.
 //!
-//! All three loops run the identical Lindley arithmetic on the same RNG
+//! All loops run the identical Lindley arithmetic on the same RNG
 //! stream, so the schedules are bit-for-bit the same regardless of which
 //! loop runs — a policy that does not read a field cannot observe
 //! whether it was computed. The loops stream the trace through its
 //! structure-of-arrays views ([`Trace::arrivals`], [`Trace::sizes`]).
+//!
+//! All per-run state lives in a [`SimWorkspace`]: the `*_into` entry
+//! points borrow one explicitly (allocation-free in steady state), and
+//! the plain entry points reuse a thread-local workspace transparently.
 //!
 //! The event-driven engine in [`crate::event`] computes the identical
 //! schedule the slow way; `tests` in both modules and the integration
 //! suite assert exact agreement.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-use crate::metrics::{Collector, JobRecord, MetricsConfig, SimResult};
+use crate::metrics::{JobRecord, MetricsConfig, SimResult};
 use crate::state::{Dispatcher, HostView, SystemState};
+use crate::workspace::{with_thread_workspace, SimWorkspace};
 use dses_dist::Rng64;
 use dses_workload::Trace;
 
@@ -54,49 +67,6 @@ impl PartialOrd for OrdF64 {
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.total_cmp(&other.0)
-    }
-}
-
-struct HostSim {
-    /// time at which all currently assigned work completes
-    free_at: f64,
-    /// completion times of jobs still in the system (min-heap)
-    completions: BinaryHeap<Reverse<OrdF64>>,
-}
-
-impl HostSim {
-    fn new() -> Self {
-        Self {
-            free_at: 0.0,
-            // jobs in system per host stay small except near saturation;
-            // 32 slots absorb the common case without reallocation
-            completions: BinaryHeap::with_capacity(32),
-        }
-    }
-
-    /// Remove completed jobs as of time `now` and return the view.
-    fn view(&mut self, now: f64) -> HostView {
-        while let Some(&Reverse(OrdF64(c))) = self.completions.peek() {
-            if c <= now {
-                self.completions.pop();
-            } else {
-                break;
-            }
-        }
-        HostView {
-            queue_len: self.completions.len(),
-            work_left: (self.free_at - now).max(0.0),
-        }
-    }
-
-    /// Assign a job arriving at `now` with the given (speed-adjusted)
-    /// service time; returns `(start, completion)`.
-    fn assign(&mut self, now: f64, service: f64) -> (f64, f64) {
-        let start = now.max(self.free_at);
-        let completion = start + service;
-        self.free_at = completion;
-        self.completions.push(Reverse(OrdF64(completion)));
-        (start, completion)
     }
 }
 
@@ -142,7 +112,10 @@ impl SpeedModel for PerHostSpeeds<'_> {
 /// Simulate `trace` on `hosts` identical FCFS hosts under `policy`.
 ///
 /// `seed` drives any randomness inside the policy (e.g. Random's coin
-/// flips); the engine itself is deterministic.
+/// flips); the engine itself is deterministic. Per-run buffers come from
+/// this thread's reusable [`SimWorkspace`]; use
+/// [`simulate_dispatch_into`] to manage the workspace (and the result's
+/// buffers) explicitly.
 ///
 /// ```
 /// use dses_sim::{simulate_dispatch, Dispatcher, MetricsConfig, SystemState};
@@ -173,7 +146,28 @@ pub fn simulate_dispatch<P: Dispatcher + ?Sized>(
     seed: u64,
     cfg: MetricsConfig,
 ) -> SimResult {
-    run_specialized(trace, &UnitSpeeds(hosts), policy, seed, cfg)
+    with_thread_workspace(|ws| {
+        let mut out = SimResult::empty();
+        run_specialized(trace, &UnitSpeeds(hosts), policy, seed, cfg, ws, &mut out);
+        out
+    })
+}
+
+/// [`simulate_dispatch`] writing through caller-owned buffers: all
+/// per-run state comes from `ws`, the result lands in `out` (every field
+/// overwritten). After one warm-up run of the same shape, a call
+/// performs **zero heap allocations** — the loop body of an
+/// allocation-free sweep.
+pub fn simulate_dispatch_into<P: Dispatcher + ?Sized>(
+    trace: &Trace,
+    hosts: usize,
+    policy: &mut P,
+    seed: u64,
+    cfg: MetricsConfig,
+    ws: &mut SimWorkspace,
+    out: &mut SimResult,
+) {
+    run_specialized(trace, &UnitSpeeds(hosts), policy, seed, cfg, ws, out);
 }
 
 /// Simulate `trace` on **heterogeneous** FCFS hosts: `speeds[i]` is host
@@ -193,11 +187,29 @@ pub fn simulate_dispatch_speeds<P: Dispatcher + ?Sized>(
     seed: u64,
     cfg: MetricsConfig,
 ) -> SimResult {
+    with_thread_workspace(|ws| {
+        let mut out = SimResult::empty();
+        simulate_dispatch_speeds_into(trace, speeds, policy, seed, cfg, ws, &mut out);
+        out
+    })
+}
+
+/// [`simulate_dispatch_speeds`] through caller-owned buffers; see
+/// [`simulate_dispatch_into`].
+pub fn simulate_dispatch_speeds_into<P: Dispatcher + ?Sized>(
+    trace: &Trace,
+    speeds: &[f64],
+    policy: &mut P,
+    seed: u64,
+    cfg: MetricsConfig,
+    ws: &mut SimWorkspace,
+    out: &mut SimResult,
+) {
     assert!(
         speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
         "host speeds must be positive and finite"
     );
-    run_specialized(trace, &PerHostSpeeds(speeds), policy, seed, cfg)
+    run_specialized(trace, &PerHostSpeeds(speeds), policy, seed, cfg, ws, out);
 }
 
 /// Dispatch to the hot loop matching the policy's declared state needs.
@@ -213,41 +225,120 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
     policy: &mut P,
     seed: u64,
     cfg: MetricsConfig,
-) -> SimResult {
+    ws: &mut SimWorkspace,
+    out: &mut SimResult,
+) {
     let hosts = speeds.hosts();
     assert!(hosts > 0, "need at least one host");
     policy.reset();
     let needs = policy.state_needs();
     let mut rng = Rng64::seed_from(seed).stream(0xD15);
-    let mut collector = Collector::with_job_hint(hosts, cfg, trace.len());
+    ws.reset_fast(hosts, trace.backlog_hint(hosts));
+    ws.collector.reset(hosts, cfg, trace.len());
     let jobs = trace.jobs();
     let arrivals = trace.arrivals();
     let sizes = trace.sizes();
+    let SimWorkspace {
+        free_at,
+        views,
+        fifos,
+        expiry,
+        heaps,
+        collector,
+        ..
+    } = ws;
 
-    if needs.needs_queue_len() {
-        // Full loop: per-host completion heaps for queue lengths.
-        let mut host_sims: Vec<HostSim> = (0..hosts).map(|_| HostSim::new()).collect();
-        let mut views: Vec<HostView> = vec![
-            HostView {
-                queue_len: 0,
-                work_left: 0.0
-            };
-            hosts
-        ];
+    if needs.needs_queue_len() && needs.needs_work_left() {
+        // Full loop: per-host completion heaps maintain queue lengths
+        // alongside the Lindley scalars. Also the reference loop the
+        // specialized ones are validated against.
         for i in 0..jobs.len() {
             let now = arrivals[i];
-            for (v, hs) in views.iter_mut().zip(host_sims.iter_mut()) {
-                *v = hs.view(now);
+            for h in 0..hosts {
+                let heap = &mut heaps[h];
+                while let Some(&Reverse(OrdF64(c))) = heap.peek() {
+                    if c <= now {
+                        heap.pop();
+                    } else {
+                        break;
+                    }
+                }
+                views[h] = HostView {
+                    queue_len: heap.len(),
+                    work_left: (free_at[h] - now).max(0.0),
+                };
             }
-            let state = SystemState { now, hosts: &views };
+            let state = SystemState { now, hosts: views.as_slice() };
             let target = policy.dispatch(&jobs[i], &state, &mut rng);
             assert!(
                 target < hosts,
                 "policy {} returned host {target} of {hosts}",
                 policy.name()
             );
-            let (start, completion) =
-                host_sims[target].assign(now, speeds.service(target, sizes[i]));
+            let start = now.max(free_at[target]);
+            let completion = start + speeds.service(target, sizes[i]);
+            free_at[target] = completion;
+            heaps[target].push(Reverse(OrdF64(completion)));
+            collector.record(JobRecord {
+                id: jobs[i].id,
+                arrival: now,
+                size: sizes[i],
+                start,
+                completion,
+                host: target,
+            });
+        }
+    } else if needs.needs_queue_len() {
+        // Queue-length loop: per-host heaps replaced by FIFO deques. An
+        // FCFS run-to-completion host completes jobs in assignment order
+        // — each new completion is `max(now, free_at) + service ≥
+        // free_at`, the previous one — so the in-system completions of
+        // one host form a monotone non-decreasing FIFO: expire off the
+        // front, push on the back.
+        //
+        // Queue lengths update incrementally (+1 on dispatch, −1 on
+        // expiry), and a tournament heap over the deque *fronts* — at
+        // most one entry per non-empty host — turns the per-arrival
+        // expiry check into an O(1) peek instead of an O(hosts) scan.
+        // Expiry order across hosts cannot affect results: every entry
+        // with `completion ≤ now` is drained before the policy looks,
+        // and the later entries keep their exact counts, so queue
+        // lengths are bit-identical to the full loop's. `work_left`
+        // stays 0 — the policy declared it never reads it.
+        for i in 0..jobs.len() {
+            let now = arrivals[i];
+            while let Some(&Reverse((OrdF64(next), h))) = expiry.peek() {
+                if next > now {
+                    break;
+                }
+                expiry.pop();
+                let fifo = &mut fifos[h];
+                fifo.pop_front();
+                views[h].queue_len -= 1;
+                while fifo.front().is_some_and(|&c| c <= now) {
+                    fifo.pop_front();
+                    views[h].queue_len -= 1;
+                }
+                if let Some(&front) = fifo.front() {
+                    expiry.push(Reverse((OrdF64(front), h)));
+                }
+            }
+            let state = SystemState { now, hosts: views.as_slice() };
+            let target = policy.dispatch(&jobs[i], &state, &mut rng);
+            assert!(
+                target < hosts,
+                "policy {} returned host {target} of {hosts}",
+                policy.name()
+            );
+            let start = now.max(free_at[target]);
+            let completion = start + speeds.service(target, sizes[i]);
+            free_at[target] = completion;
+            let fifo = &mut fifos[target];
+            if fifo.is_empty() {
+                expiry.push(Reverse((OrdF64(completion), target)));
+            }
+            fifo.push_back(completion);
+            views[target].queue_len += 1;
             collector.record(JobRecord {
                 id: jobs[i].id,
                 arrival: now,
@@ -260,20 +351,12 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
     } else if needs.needs_work_left() {
         // Work-left loop: the Lindley scalar is the whole host state.
         // `queue_len` stays 0 — the policy declared it never reads it.
-        let mut free_at = vec![0.0f64; hosts];
-        let mut views: Vec<HostView> = vec![
-            HostView {
-                queue_len: 0,
-                work_left: 0.0
-            };
-            hosts
-        ];
         for i in 0..jobs.len() {
             let now = arrivals[i];
             for (v, &f) in views.iter_mut().zip(free_at.iter()) {
                 v.work_left = (f - now).max(0.0);
             }
-            let state = SystemState { now, hosts: &views };
+            let state = SystemState { now, hosts: views.as_slice() };
             let target = policy.dispatch(&jobs[i], &state, &mut rng);
             assert!(
                 target < hosts,
@@ -295,17 +378,9 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
     } else {
         // Static loop: the policy reads no host state at all, so the
         // views are frozen zeros (correct length, never refreshed).
-        let mut free_at = vec![0.0f64; hosts];
-        let views: Vec<HostView> = vec![
-            HostView {
-                queue_len: 0,
-                work_left: 0.0
-            };
-            hosts
-        ];
         for i in 0..jobs.len() {
             let now = arrivals[i];
-            let state = SystemState { now, hosts: &views };
+            let state = SystemState { now, hosts: views.as_slice() };
             let target = policy.dispatch(&jobs[i], &state, &mut rng);
             assert!(
                 target < hosts,
@@ -325,7 +400,7 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
             });
         }
     }
-    collector.finish()
+    collector.finish_into(out);
 }
 
 #[cfg(test)]
@@ -356,6 +431,23 @@ mod tests {
         }
         fn state_needs(&self) -> StateNeeds {
             StateNeeds::WORK_LEFT
+        }
+    }
+
+    /// Pick the host with the fewest in-system jobs (mini Shortest-Queue
+    /// exercising the FIFO-deque kernel).
+    struct MiniSq;
+    impl Dispatcher for MiniSq {
+        fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+            s.hosts
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, v)| v.queue_len)
+                .expect("at least one host")
+                .0
+        }
+        fn state_needs(&self) -> StateNeeds {
+            StateNeeds::QUEUE_LEN
         }
     }
 
@@ -449,6 +541,31 @@ mod tests {
     }
 
     #[test]
+    fn fifo_kernel_expires_completed_jobs() {
+        // same expiry semantics through the deque kernel
+        struct AssertingSq {
+            calls: usize,
+        }
+        impl Dispatcher for AssertingSq {
+            fn dispatch(&mut self, _: &Job, s: &SystemState<'_>, _: &mut Rng64) -> usize {
+                if self.calls == 1 {
+                    assert_eq!(s.hosts[0].queue_len, 1, "size-10 job still running");
+                }
+                if self.calls == 2 {
+                    assert_eq!(s.hosts[0].queue_len, 0, "stale completion retained");
+                }
+                self.calls += 1;
+                0
+            }
+            fn state_needs(&self) -> StateNeeds {
+                StateNeeds::QUEUE_LEN
+            }
+        }
+        let t = trace(&[(0.0, 10.0), (5.0, 1.0), (20.0, 1.0)]);
+        let _ = simulate_dispatch(&t, 1, &mut AssertingSq { calls: 0 }, 0, MetricsConfig::default());
+    }
+
+    #[test]
     fn work_left_view_is_remaining_service() {
         struct Check;
         impl Dispatcher for Check {
@@ -519,11 +636,33 @@ mod tests {
         let fast = simulate_dispatch(&t, 3, &mut MiniLwl, 0, cfg);
         let full = simulate_dispatch(&t, 3, &mut ForceFull(MiniLwl), 0, cfg);
         assert_eq!(fast.records.unwrap(), full.records.unwrap());
-        // heterogeneous speeds through both kernels
+        // queue-length (FIFO deque) kernel
+        let fast = simulate_dispatch(&t, 3, &mut MiniSq, 0, cfg);
+        let full = simulate_dispatch(&t, 3, &mut ForceFull(MiniSq), 0, cfg);
+        assert_eq!(fast.records.unwrap(), full.records.unwrap());
+        // heterogeneous speeds through the kernels
         let speeds = [1.0, 0.5, 2.0];
         let fast = simulate_dispatch_speeds(&t, &speeds, &mut MiniLwl, 0, cfg);
         let full = simulate_dispatch_speeds(&t, &speeds, &mut ForceFull(MiniLwl), 0, cfg);
         assert_eq!(fast.records.unwrap(), full.records.unwrap());
+        let fast = simulate_dispatch_speeds(&t, &speeds, &mut MiniSq, 0, cfg);
+        let full = simulate_dispatch_speeds(&t, &speeds, &mut ForceFull(MiniSq), 0, cfg);
+        assert_eq!(fast.records.unwrap(), full.records.unwrap());
+    }
+
+    #[test]
+    fn explicit_workspace_matches_thread_local_path() {
+        let t = trace(&[(0.0, 4.0), (0.5, 1.0), (1.0, 2.0), (3.0, 6.0)]);
+        let cfg = MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        };
+        let implicit = simulate_dispatch(&t, 2, &mut MiniSq, 0, cfg);
+        let mut ws = SimWorkspace::new();
+        let mut out = SimResult::empty();
+        simulate_dispatch_into(&t, 2, &mut MiniSq, 0, cfg, &mut ws, &mut out);
+        assert_eq!(implicit.records.unwrap(), out.records.unwrap());
+        assert_eq!(implicit.slowdown, out.slowdown);
     }
 
     #[test]

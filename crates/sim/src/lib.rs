@@ -39,9 +39,17 @@ pub mod metrics;
 pub mod par;
 pub mod state;
 pub mod validate;
+pub mod workspace;
 
 pub use event::EventEngine;
-pub use fast::{simulate_dispatch, simulate_dispatch_speeds};
-pub use par::{available_workers, effective_workers, par_map, par_map_indexed};
+pub use fast::{
+    simulate_dispatch, simulate_dispatch_into, simulate_dispatch_speeds,
+    simulate_dispatch_speeds_into,
+};
+pub use par::{
+    available_workers, effective_workers, par_map, par_map_indexed, par_map_indexed_scoped,
+    WorkerPool,
+};
 pub use metrics::{HostStats, JobRecord, MetricsConfig, SimResult};
 pub use state::{Dispatcher, HostView, QueueDiscipline, StateNeeds, SystemState};
+pub use workspace::SimWorkspace;

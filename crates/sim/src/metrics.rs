@@ -175,6 +175,30 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// A result describing no jobs at all — the starting value for
+    /// [`Collector::finish_into`], which overwrites every field while
+    /// reusing whatever buffers a previous run left behind.
+    #[must_use]
+    pub fn empty() -> Self {
+        let nothing = OnlineMoments::new().finish();
+        Self {
+            slowdown: nothing,
+            queueing_slowdown: nothing,
+            response: nothing,
+            waiting: nothing,
+            per_host: Vec::new(),
+            makespan: 0.0,
+            measured: 0,
+            skipped: 0,
+            fairness: None,
+            short_slowdown: None,
+            long_slowdown: None,
+            slowdown_percentiles: None,
+            slo_violations: None,
+            records: None,
+        }
+    }
+
     /// Fraction of the measured *work* served by host `i` — Figure 5's
     /// y-axis ("fraction of the total load which goes to Host 1").
     #[must_use]
@@ -276,6 +300,57 @@ impl Collector {
         }
     }
 
+    /// Reconfigure for a new run, clearing without freeing.
+    ///
+    /// After `reset(hosts, cfg, expected_jobs)` the collector is
+    /// observationally identical to `Collector::with_job_hint(hosts, cfg,
+    /// expected_jobs)` — the engines' reusable-workspace entry points rely
+    /// on that to stay bit-for-bit equal to fresh-allocation runs — but
+    /// every growable buffer (per-host stats, the fairness histogram when
+    /// its layout is unchanged, the record vector) keeps its allocation.
+    pub fn reset(&mut self, hosts: usize, cfg: MetricsConfig, expected_jobs: usize) {
+        self.cfg = cfg;
+        self.slowdown = OnlineMoments::new();
+        self.queueing_slowdown = OnlineMoments::new();
+        self.response = OnlineMoments::new();
+        self.waiting = OnlineMoments::new();
+        self.per_host.clear();
+        self.per_host.resize(hosts, HostStats::default());
+        self.makespan = 0.0;
+        self.seen = 0;
+        if cfg.fairness_bins > 0 {
+            let (lo, hi) = cfg.fairness_range;
+            match &mut self.fairness {
+                Some(f) if f.has_layout(lo, hi, cfg.fairness_bins) => f.reset(),
+                other => *other = Some(LogHistogram::new(lo, hi, cfg.fairness_bins)),
+            }
+        } else {
+            self.fairness = None;
+        }
+        self.short_slowdown = OnlineMoments::new();
+        self.long_slowdown = OnlineMoments::new();
+        if cfg.slowdown_percentiles {
+            match &mut self.percentiles {
+                Some(p) => p.reset(),
+                other => *other = Some(QuantileSet::default()),
+            }
+        } else {
+            self.percentiles = None;
+        }
+        self.slo_violations = 0;
+        if cfg.collect_records {
+            match &mut self.records {
+                Some(v) => {
+                    v.clear();
+                    v.reserve(expected_jobs);
+                }
+                other => *other = Some(Vec::with_capacity(expected_jobs)),
+            }
+        } else {
+            self.records = None;
+        }
+    }
+
     /// Record one completed job.
     pub fn record(&mut self, rec: JobRecord) {
         debug_assert!(rec.start >= rec.arrival, "service before arrival");
@@ -335,6 +410,45 @@ impl Collector {
             slowdown_percentiles: self.percentiles.map(|p| p.estimates()),
             slo_violations: self.cfg.slo_slowdown.map(|t| (self.slo_violations, t)),
             records: self.records,
+        }
+    }
+
+    /// Finish the run into an existing result, reusing its buffers.
+    ///
+    /// Writes exactly what [`Collector::finish`] would return, but keeps
+    /// the collector alive (it is workspace state) and routes every
+    /// growable field through `clone_from`/`extend`, so a result that
+    /// already went through a run of the same shape absorbs this one with
+    /// zero heap allocation — the steady state of a reused-workspace
+    /// sweep.
+    pub fn finish_into(&self, out: &mut SimResult) {
+        let measured = self.slowdown.count();
+        out.slowdown = self.slowdown.finish();
+        out.queueing_slowdown = self.queueing_slowdown.finish();
+        out.response = self.response.finish();
+        out.waiting = self.waiting.finish();
+        out.per_host.clear();
+        out.per_host.extend_from_slice(&self.per_host);
+        out.makespan = self.makespan;
+        out.measured = measured;
+        out.skipped = self.seen - measured;
+        match (&self.fairness, &mut out.fairness) {
+            (Some(src), Some(dst)) => dst.clone_from(src),
+            (Some(src), dst) => *dst = Some(src.clone()),
+            (None, dst) => *dst = None,
+        }
+        out.short_slowdown = self.cfg.split_cutoff.map(|_| self.short_slowdown.finish());
+        out.long_slowdown = self.cfg.split_cutoff.map(|_| self.long_slowdown.finish());
+        match (&self.percentiles, &mut out.slowdown_percentiles) {
+            (Some(src), Some(dst)) => src.estimates_into(dst),
+            (Some(src), dst) => *dst = Some(src.estimates()),
+            (None, dst) => *dst = None,
+        }
+        out.slo_violations = self.cfg.slo_slowdown.map(|t| (self.slo_violations, t));
+        match (&self.records, &mut out.records) {
+            (Some(src), Some(dst)) => dst.clone_from(src),
+            (Some(src), dst) => *dst = Some(src.clone()),
+            (None, dst) => *dst = None,
         }
     }
 }

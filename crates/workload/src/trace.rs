@@ -161,6 +161,18 @@ impl Trace {
     pub fn truncate(&self, n: usize) -> Trace {
         Trace::new(self.jobs.iter().take(n).copied().collect())
     }
+
+    /// A per-host backlog capacity hint for simulation buffers (completion
+    /// heaps / departure deques): how many in-system jobs one of `hosts`
+    /// hosts should expect to hold at once. Scales with the trace's share
+    /// per host — stable systems keep backlogs far below `n/h`, so an
+    /// eighth of the share absorbs even near-saturation bursts — clamped
+    /// to `[32, 4096]` so tiny traces stay tiny and giant traces don't
+    /// pre-commit O(n) memory per host.
+    #[must_use]
+    pub fn backlog_hint(&self, hosts: usize) -> usize {
+        ((self.jobs.len() / hosts.max(1)) / 8).clamp(32, 4096)
+    }
 }
 
 #[cfg(test)]
