@@ -8,6 +8,11 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Source-level invariant gate: determinism, no-alloc, panic-hygiene,
+# float-totality, header-conformance (see DESIGN.md §10). Exits nonzero
+# on any unwaived finding; waivers are inline and carry reasons.
+cargo run --release -q -p dses-lint -- --workspace
+
 # Perf smoke: tiny-config perf_report exercising the parallel sweep, the
 # specialized kernels, and the memoized cutoff solvers. Exits nonzero if
 # any optimised path is not bit-identical to its reference. Writes no

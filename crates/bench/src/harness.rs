@@ -100,8 +100,9 @@ impl Bench {
             ),
             None => println!("{:<44} {:>14}/iter", m.name, fmt_duration(per_iter)),
         }
+        let idx = self.results.len();
         self.results.push(m);
-        self.results.last().expect("just pushed")
+        &self.results[idx]
     }
 
     /// All measurements taken so far, in run order.

@@ -10,6 +10,8 @@
 //!
 //! See `dses help` for the full command reference.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 mod names;

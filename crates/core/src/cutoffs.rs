@@ -152,15 +152,14 @@ pub fn experimental_cutoff(
         );
         let score = match method {
             CutoffMethod::OptSlowdown => result.slowdown.mean,
-            CutoffMethod::Fair => {
-                let short = result.short_slowdown.expect("split configured");
-                let long = result.long_slowdown.expect("split configured");
-                if short.count == 0 || long.count == 0 {
-                    f64::INFINITY
-                } else {
+            CutoffMethod::Fair => match (&result.short_slowdown, &result.long_slowdown) {
+                (Some(short), Some(long)) if short.count > 0 && long.count > 0 => {
                     (short.mean - long.mean).abs()
                 }
-            }
+                // split_cutoff is set above, so both sides exist; an
+                // empty side just cannot be a fairness candidate
+                _ => f64::INFINITY,
+            },
             _ => unreachable!("handled above"),
         };
         if score < best_score {

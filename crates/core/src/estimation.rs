@@ -56,6 +56,7 @@ impl NoisySizeInterval {
 
 impl Dispatcher for NoisySizeInterval {
     fn dispatch(&mut self, job: &Job, state: &SystemState<'_>, rng: &mut Rng64) -> usize {
+        // dses-lint: allow(float-totality) -- sigma == 0.0 is the exact noise-free switch
         let estimate = if self.sigma == 0.0 {
             job.size
         } else {

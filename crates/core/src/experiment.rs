@@ -152,6 +152,7 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
     #[must_use]
     pub fn run(&self, spec: &PolicySpec, rho: f64) -> SimResult {
         self.try_run(spec, rho)
+            // dses-lint: allow(panic-hygiene) -- documented panic; try_run is the fallible form
             .unwrap_or_else(|e| panic!("{} at rho={rho}: {e}", spec.name()))
     }
 
@@ -208,6 +209,7 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
     pub fn sweep(&self, spec: &PolicySpec, loads: &[f64]) -> LoadSweep {
         self.sweep_grid(std::slice::from_ref(spec), loads)
             .pop()
+            // dses-lint: allow(panic-hygiene) -- sweep_grid over one spec returns exactly one sweep
             .expect("one spec in, one sweep out")
     }
 

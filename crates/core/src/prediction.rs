@@ -11,7 +11,7 @@
 use dses_dist::Rng64;
 use dses_sim::{Dispatcher, SystemState};
 use dses_workload::Job;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A per-user size predictor.
@@ -25,7 +25,7 @@ pub trait SizePredictor: std::fmt::Debug {
 /// Running per-user mean — the simplest historical predictor.
 #[derive(Debug, Clone, Default)]
 pub struct RunningMeanPredictor {
-    stats: HashMap<u32, (u64, f64)>, // user → (count, sum)
+    stats: BTreeMap<u32, (u64, f64)>, // user → (count, sum)
 }
 
 impl RunningMeanPredictor {

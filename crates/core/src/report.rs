@@ -93,6 +93,7 @@ pub fn fmt_num(x: f64) -> String {
         return if x > 0.0 { "inf" } else { "-inf" }.to_string();
     }
     let a = x.abs();
+    // dses-lint: allow(float-totality) -- exact-zero formatting special case
     if a == 0.0 {
         "0".to_string()
     } else if !(1e-3..1e6).contains(&a) {
@@ -107,6 +108,7 @@ pub fn fmt_num(x: f64) -> String {
 /// Format a ratio like "12.3x".
 #[must_use]
 pub fn fmt_ratio(numerator: f64, denominator: f64) -> String {
+    // dses-lint: allow(float-totality) -- exact-zero denominator guard
     if denominator == 0.0 || !numerator.is_finite() || !denominator.is_finite() {
         "-".to_string()
     } else {

@@ -37,6 +37,8 @@ pub fn rule_of_thumb_cutoff<D: Distribution + ?Sized>(dist: &D, rho: f64) -> f64
         hi,
         1e-13 * hi,
     )
+    // dses-lint: allow(panic-hygiene) -- partial_moment is continuous and monotone in c,
+    // 0 at the support's bottom and > target at its top, so the bisection bracket is valid
     .expect("load-below-c is continuous and spans the target")
 }
 

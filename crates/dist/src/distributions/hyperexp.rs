@@ -131,7 +131,8 @@ impl Distribution for HyperExponential {
             .iter()
             .zip(&self.rates)
             .map(|(p, l)| {
-                let e = super::Exponential::new(*l).expect("validated rate");
+                // dses-lint: allow(panic-hygiene) -- rates validated positive/finite by the constructor
+        let e = super::Exponential::new(*l).expect("validated rate");
                 p * e.partial_moment(k, a, b)
             })
             .sum()

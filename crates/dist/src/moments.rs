@@ -29,6 +29,7 @@ impl Moments {
     /// Squared coefficient of variation `C² = Var/mean²`.
     #[must_use]
     pub fn scv(&self) -> f64 {
+        // dses-lint: allow(float-totality) -- exact zero-mean guard for the degenerate case
         if self.mean == 0.0 {
             0.0
         } else {
@@ -163,6 +164,7 @@ impl OnlineMoments {
     #[must_use]
     pub fn scv(&self) -> f64 {
         let m = self.mean();
+        // dses-lint: allow(float-totality) -- exact zero-mean guard for the degenerate case
         if m == 0.0 {
             0.0
         } else {

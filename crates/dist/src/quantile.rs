@@ -209,14 +209,24 @@ impl QuantileSet {
         out.extend(self.estimators.iter().map(|e| (e.q(), e.estimate())));
     }
 
-    /// The estimate for a specific tracked quantile (panics if untracked).
+    /// The estimate for a specific tracked quantile, `None` if `q` was
+    /// not in the tracked set.
     #[must_use]
-    pub fn get(&self, q: f64) -> f64 {
+    pub fn try_get(&self, q: f64) -> Option<f64> {
         self.estimators
             .iter()
             .find(|e| (e.q() - q).abs() < 1e-12)
-            .unwrap_or_else(|| panic!("quantile {q} is not tracked"))
-            .estimate()
+            .map(P2Quantile::estimate)
+    }
+
+    /// The estimate for a specific tracked quantile (panics if untracked).
+    #[must_use]
+    pub fn get(&self, q: f64) -> f64 {
+        match self.try_get(q) {
+            Some(v) => v,
+            // dses-lint: allow(panic-hygiene) -- documented panic; try_get is the fallible form
+            None => panic!("quantile {q} is not tracked"),
+        }
     }
 }
 

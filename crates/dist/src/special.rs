@@ -1,3 +1,5 @@
+// dses-lint: allow-file(float-totality) -- special functions branch on exact boundary
+// values (x == 0, p == 0, p == 1) where the limits are mathematically exact
 //! Special functions needed by the distribution library.
 //!
 //! Self-contained implementations (no external math crate): the error

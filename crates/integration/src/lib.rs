@@ -1,1 +1,9 @@
-pub fn placeholder() {}
+//! # dses-integration — cross-crate integration test host
+//!
+//! This crate exists to give the workspace-level integration tests under
+//! `/tests` (and the `/examples` walkthroughs) a Cargo home with every
+//! `dses-*` crate in scope; see the `[[test]]` entries in its
+//! `Cargo.toml`. It exports no library API of its own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,0 +1,515 @@
+//! A raw-token scanner for Rust source.
+//!
+//! `dses-lint` needs far less than a parse tree: every rule works on the
+//! *token* level — identifiers, punctuation, literals, and comments with
+//! accurate line numbers — plus a little bracket matching done by the
+//! rule engine. What the lexer must get exactly right is the places
+//! where naive text search lies:
+//!
+//! * comments (`//`, `///`, `//!`, nested `/* */`) — doc-comment code
+//!   examples must not trip code rules, and waiver directives live here;
+//! * string-ish literals (`"…"`, `r#"…"#`, `b"…"`, `'c'`) — an
+//!   `"unwrap()"` inside a message is not a panic site;
+//! * lifetimes vs char literals (`'a` vs `'a'`);
+//! * float literals vs field access and ranges (`1.0` vs `tuple.0`
+//!   vs `0..n`) — the float-totality rule keys on real float tokens.
+//!
+//! Tokens borrow the source as byte ranges; nothing is copied.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'_`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, with maximal munch for multi-char operators
+    /// (`==`, `::`, `->`, …). `text()` is the full operator.
+    Punct,
+    /// `// …` comment (doc or plain), text includes the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled), may span lines.
+    BlockComment,
+}
+
+/// One lexeme: kind, 1-based line of its first byte, byte range.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text, borrowed from the source it was lexed from.
+    #[must_use]
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lex `src` into raw tokens. Whitespace is dropped; comments are kept
+/// (the waiver scanner reads them). The lexer never fails: bytes it
+/// cannot classify become single-char [`TokenKind::Punct`] tokens, which
+/// at worst makes a rule miss — never crash.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' | b'c' if self.is_literal_prefix() => self.prefixed_literal(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: u32) {
+        self.tokens.push(Token {
+            kind,
+            line: start_line,
+            start,
+            end: self.pos,
+        });
+    }
+
+    /// Advance one byte, keeping the line counter honest.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// Ordinary (escaped, possibly multi-line) string literal; `pos` is
+    /// on the opening quote.
+    fn string(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Is the `r`/`b`/`c` at `pos` the start of a literal (`r"`, `r#"`,
+    /// `b"`, `b'`, `br"`, `rb` does not exist, `r#ident` is a raw ident)?
+    fn is_literal_prefix(&self) -> bool {
+        let mut i = 1;
+        // allow one more prefix letter (br", cr", …)
+        if matches!(self.peek(i), Some(b'r' | b'b')) {
+            i += 1;
+        }
+        match self.peek(i) {
+            Some(b'"') => true,
+            Some(b'\'') => self.src[self.pos] == b'b', // b'x'
+            Some(b'#') => {
+                // raw string r#"…"# — but r#ident is a raw identifier
+                let mut j = i;
+                while self.peek(j) == Some(b'#') {
+                    j += 1;
+                }
+                self.peek(j) == Some(b'"')
+            }
+            _ => false,
+        }
+    }
+
+    /// Raw/byte/C string or byte-char literal, `pos` on the prefix.
+    fn prefixed_literal(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let mut raw = self.src[self.pos] == b'r';
+        self.pos += 1;
+        if matches!(self.src.get(self.pos), Some(b'r')) {
+            raw = true;
+            self.pos += 1;
+        } else if matches!(self.src.get(self.pos), Some(b'b')) {
+            self.pos += 1;
+        }
+        if self.src.get(self.pos) == Some(&b'\'') {
+            // byte char b'x'
+            self.pos += 1;
+            if self.src.get(self.pos) == Some(&b'\\') {
+                self.pos += 2;
+            } else if self.pos < self.src.len() {
+                self.bump();
+            }
+            if self.src.get(self.pos) == Some(&b'\'') {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Char, start, line);
+            return;
+        }
+        let mut hashes = 0usize;
+        while raw && self.src.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.src.get(self.pos) == Some(&b'"') {
+            self.pos += 1;
+            if raw {
+                // scan to `"` followed by `hashes` hashes, no escapes
+                while self.pos < self.src.len() {
+                    if self.src[self.pos] == b'"'
+                        && self.src[self.pos + 1..]
+                            .iter()
+                            .take_while(|&&c| c == b'#')
+                            .count()
+                            >= hashes
+                    {
+                        self.pos += 1 + hashes;
+                        break;
+                    }
+                    self.bump();
+                }
+                self.push(TokenKind::Str, start, line);
+            } else {
+                // rewind to reuse the escaped-string scanner
+                self.pos -= 1;
+                let quote = self.pos;
+                self.string();
+                // widen the token to include the prefix
+                if let Some(t) = self.tokens.last_mut() {
+                    if t.start == quote {
+                        t.start = start;
+                    }
+                }
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 1;
+        match self.src.get(self.pos) {
+            Some(b'\\') => {
+                // escaped char literal '\n', '\u{…}'
+                self.pos += 1;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.bump();
+                }
+                self.pos = (self.pos + 1).min(self.src.len());
+                self.push(TokenKind::Char, start, line);
+            }
+            Some(&b) if is_ident_start(b) => {
+                // 'a could be a lifetime or a char literal 'a'
+                let mut j = self.pos;
+                while j < self.src.len() && is_ident_continue(self.src[j]) {
+                    j += 1;
+                }
+                if self.src.get(j) == Some(&b'\'') {
+                    self.pos = j + 1;
+                    self.push(TokenKind::Char, start, line);
+                } else {
+                    self.pos = j;
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+            }
+            Some(_) => {
+                // char literal with a non-ident char: '+', '0', ' '
+                self.bump();
+                if self.src.get(self.pos) == Some(&b'\'') {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            None => self.push(TokenKind::Punct, start, line),
+        }
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        // raw identifier r#type: the `r` path only reaches here when the
+        // `#` is not followed by `"`, so consume `#ident`.
+        if self.src.get(self.pos) == Some(&b'#')
+            && self.pos - start == 1
+            && self.src[start] == b'r'
+            && self.peek(1).is_some_and(is_ident_start)
+        {
+            self.pos += 1;
+            while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    /// Number literal. Float iff it consumes a decimal point or an
+    /// exponent, or carries an `f32`/`f64` suffix. `1..n` and `x.0`
+    /// stay integers; `tuple.0` never reaches here with the dot.
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let mut float = false;
+        if self.src[self.pos] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.pos += 2;
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Int, start, line);
+            return;
+        }
+        let digits = |l: &mut Self| {
+            while l
+                .src
+                .get(l.pos)
+                .is_some_and(|&b| b.is_ascii_digit() || b == b'_')
+            {
+                l.pos += 1;
+            }
+        };
+        digits(self);
+        // decimal point: only if not `..` (range) and not `.ident`
+        // (method call / field access on a literal)
+        if self.src.get(self.pos) == Some(&b'.')
+            && self.peek(1) != Some(b'.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            float = true;
+            self.pos += 1;
+            digits(self);
+        }
+        if matches!(self.src.get(self.pos), Some(b'e' | b'E')) {
+            let mut j = self.pos + 1;
+            if matches!(self.src.get(j), Some(b'+' | b'-')) {
+                j += 1;
+            }
+            if self.src.get(j).is_some_and(u8::is_ascii_digit) {
+                float = true;
+                self.pos = j;
+                digits(self);
+            }
+        }
+        // suffix (u32, f64, …)
+        let suffix_start = self.pos;
+        while self.src.get(self.pos).is_some_and(|&b| is_ident_continue(b)) {
+            self.pos += 1;
+        }
+        if matches!(&self.src[suffix_start..self.pos], b"f32" | b"f64") {
+            float = true;
+        }
+        self.push(
+            if float { TokenKind::Float } else { TokenKind::Int },
+            start,
+            line,
+        );
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.push(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        self.pos += 1;
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r#"let s = "unwrap()"; // unwrap() here too
+/* and /* nested */ unwrap() */ call();"#;
+        let toks = kinds(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "call"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let src = "let a = 1.0; let b = 1..5; let c = 2e-3; let d = 0x1f; let e = 1f64; let f = 7;";
+        let toks = kinds(src);
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.0", "2e-3", "1f64"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, ["1", "5", "0x1f", "7"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r##"let x = r#"has "quotes" and unwrap()"#; let r#type = 1;"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quotes")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        let src = "a == b; c <= d; e != f; g::h; i -> j; k..=l";
+        let ops: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t)
+            .collect();
+        assert!(ops.contains(&"==".to_string()));
+        assert!(ops.contains(&"<=".to_string()));
+        assert!(ops.contains(&"!=".to_string()));
+        assert!(ops.contains(&"::".to_string()));
+        assert!(ops.contains(&"->".to_string()));
+        assert!(ops.contains(&"..=".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "line1();\n/* spans\ntwo lines */\nline4();";
+        let toks = lex(src);
+        let l4 = toks
+            .iter()
+            .find(|t| t.text(src) == "line4")
+            .map(|t| t.line);
+        assert_eq!(l4, Some(4));
+    }
+
+    #[test]
+    fn byte_strings_are_strings() {
+        let src = r#"let b = b"bytes"; let c = b'x';"#;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t == "b\"bytes\""));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "b'x'"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # dses-lint — source-level invariant enforcement for the dses workspace
+//!
+//! The workspace's correctness story rests on invariants no compiler
+//! checks: simulation results must be **bit-deterministic** (no
+//! iteration-order-dependent containers, no clocks, no environment
+//! reads in result-affecting crates), steady-state loops must be
+//! **allocation-free** (the PR 3 sweep engine), library code must have
+//! **panic hygiene** (every `unwrap` carries a stated invariant), and
+//! float comparisons must go through **total-order helpers**. The
+//! runtime gates in `perf_report` verify these after the fact; this
+//! crate enforces them *at the source level*, before a violation can
+//! corrupt a number.
+//!
+//! It is a deliberately small static-analysis pass: a raw-token lexer
+//! ([`lexer`]), a rule engine ([`rules`]), a hand-rolled `lint.toml`
+//! config ([`config`]), text/JSON reporting ([`report`]), and a
+//! workspace walker ([`driver`]). No dependencies, no `syn`, no full
+//! parse — every rule needs only tokens, comments, and bracket
+//! matching, which keeps the tool trivially auditable and fast enough
+//! to run in CI on every build.
+//!
+//! ## Waivers
+//!
+//! Violations are suppressed inline, never globally:
+//!
+//! ```text
+//! // dses-lint: allow(determinism) -- memo keyed by bit patterns, never iterated
+//! use std::collections::HashMap;
+//! ```
+//!
+//! A missing reason is itself a finding. Functions opt *into* the
+//! allocation rule with `// dses-lint: deny(alloc)`. See [`rules`] for
+//! the catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::Config;
+pub use report::{Finding, Report, Severity};
+pub use rules::{check_file, FileInput, FileKind, RootKind};

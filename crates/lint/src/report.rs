@@ -1,0 +1,206 @@
+//! Findings and their rendering — human text and machine `--json`.
+
+use std::fmt::Write as _;
+
+/// Severity of a finding. Today every rule is `Deny` (the binary exits
+/// nonzero); `Warn` exists so informational diagnostics — unused
+/// waivers — can ride the same pipeline without failing the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run unless waived.
+    Deny,
+    /// Reported, never fails the run.
+    Warn,
+}
+
+/// One diagnostic: a rule fired at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`determinism`, `no-alloc`, …).
+    pub rule: &'static str,
+    /// Human explanation, including the offending construct.
+    pub message: String,
+    /// Whether an inline waiver suppressed it.
+    pub waived: bool,
+    /// Deny (gates the build) or Warn (informational).
+    pub severity: Severity,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, waived ones included (so `--json` consumers can see
+    /// the full waiver surface).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that should fail the run: unwaived and `Deny`.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| !f.waived && f.severity == Severity::Deny)
+    }
+
+    /// Does the run pass?
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.unwaived().next().is_none()
+    }
+
+    /// Sort by file, then line, then rule — deterministic output order
+    /// regardless of scan order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Human-readable rendering: one `file:line: [rule] message` per
+    /// finding, waived findings summarised, final verdict line.
+    #[must_use]
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.waived && !verbose {
+                continue;
+            }
+            let tag = match (f.waived, f.severity) {
+                (true, _) => "waived",
+                (false, Severity::Warn) => "warning",
+                (false, Severity::Deny) => "error",
+            };
+            let _ = writeln!(out, "{}:{}: {tag}[{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        let errors = self.unwaived().count();
+        let waived = self.findings.iter().filter(|f| f.waived).count();
+        let warnings = self
+            .findings
+            .iter()
+            .filter(|f| !f.waived && f.severity == Severity::Warn)
+            .count();
+        let _ = writeln!(
+            out,
+            "dses-lint: {} file(s), {errors} error(s), {warnings} warning(s), {waived} waiver(s) honoured",
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Machine-readable rendering: a single JSON object. Hand-rolled —
+    /// the only escaping needed is for path/message strings.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i + 1 == self.findings.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \"waived\": {}, \"message\": {}}}{sep}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(match f.severity {
+                    Severity::Deny => "deny",
+                    Severity::Warn => "warn",
+                }),
+                f.waived,
+                json_str(&f.message),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  ],\n  \"files_scanned\": {},\n  \"errors\": {},\n  \"clean\": {}\n}}",
+            self.files_scanned,
+            self.unwaived().count(),
+            self.clean()
+        );
+        out
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, line: u32, waived: bool) -> Finding {
+        Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line,
+            rule,
+            message: "a \"message\" with quotes".into(),
+            waived,
+            severity: Severity::Deny,
+        }
+    }
+
+    #[test]
+    fn clean_accounts_for_waivers_and_warnings() {
+        let mut r = Report::default();
+        r.findings.push(finding("determinism", 3, true));
+        assert!(r.clean());
+        r.findings.push(Finding {
+            severity: Severity::Warn,
+            ..finding("unused-waiver", 9, false)
+        });
+        assert!(r.clean());
+        r.findings.push(finding("no-alloc", 5, false));
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.findings.push(finding("determinism", 3, false));
+        let json = r.render_json();
+        assert!(json.contains("\\\"message\\\""));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn text_hides_waived_unless_verbose() {
+        let mut r = Report::default();
+        r.findings.push(finding("determinism", 3, true));
+        assert!(!r.render_text(false).contains("waived["));
+        assert!(r.render_text(true).contains("waived[determinism]"));
+    }
+
+    #[test]
+    fn sort_is_by_file_line_rule() {
+        let mut r = Report::default();
+        r.findings.push(finding("no-alloc", 9, false));
+        r.findings.push(finding("determinism", 3, false));
+        r.sort();
+        assert_eq!(r.findings[0].line, 3);
+    }
+}

@@ -1,0 +1,829 @@
+//! The rule catalogue and the per-file checking engine.
+//!
+//! Every rule works on the raw token stream from [`crate::lexer`] plus
+//! a little bracket matching — no parse tree. The catalogue:
+//!
+//! | id | guards against |
+//! |----|----------------|
+//! | `determinism` | `HashMap`/`HashSet`, `Instant`/`SystemTime`, `std::env` in result-affecting library code |
+//! | `no-alloc` | allocating constructs inside `// dses-lint: deny(alloc)` functions |
+//! | `panic-hygiene` | `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` in library code |
+//! | `float-totality` | `partial_cmp(…).unwrap()` and `==`/`!=` against float literals outside the blessed helpers |
+//! | `header-conformance` | crate roots missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
+//! | `waiver-syntax` | malformed waivers: missing reason, unknown rule id |
+//! | `unused-waiver` | *(warning)* waivers that suppress nothing |
+//!
+//! Findings are suppressed by inline waivers:
+//!
+//! ```text
+//! // dses-lint: allow(<rule>[, <rule>…]) -- <reason>
+//! ```
+//!
+//! placed on the offending line (trailing) or on the line directly above
+//! it (the waiver then covers the *next* line of code). A reason is
+//! mandatory. `allow-file(<rule>) -- <reason>` at any point waives the
+//! rule for the whole file — for files whose idiom systematically
+//! triggers a rule (e.g. exact-zero guards in special-function code).
+//! `// dses-lint: deny(alloc)` immediately before a `fn` opts that
+//! function *into* the `no-alloc` rule.
+
+use crate::config::Config;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::{Finding, Severity};
+
+/// Which compilation target a file belongs to — decides which rules run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: all rules apply.
+    Lib,
+    /// Binary code (`src/main.rs`, `src/bin/**`): exempt from
+    /// `panic-hygiene` and `determinism` (exhibits may time themselves
+    /// and crash on bad CLI input).
+    Bin,
+    /// Tests, benches, examples, fixtures: only waiver hygiene applies.
+    Test,
+}
+
+/// Is this file a crate root, and of which target?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootKind {
+    /// `src/lib.rs`: needs the full preamble.
+    LibRoot,
+    /// `src/main.rs` of a bin-only crate: needs `forbid(unsafe_code)`.
+    BinRoot,
+}
+
+/// One file to check, with the context the driver derived for it.
+#[derive(Debug, Clone, Copy)]
+pub struct FileInput<'a> {
+    /// Workspace-relative path, `/`-separated (also used in findings).
+    pub path: &'a str,
+    /// Crate directory name under `crates/` (`sim`, `core`, …).
+    pub crate_id: &'a str,
+    /// Target kind.
+    pub kind: FileKind,
+    /// Set when the file is a crate root.
+    pub root: Option<RootKind>,
+    /// File contents.
+    pub src: &'a str,
+}
+
+/// All rule ids a waiver may name.
+pub const RULE_IDS: &[&str] = &[
+    "determinism",
+    "no-alloc",
+    "panic-hygiene",
+    "float-totality",
+    "header-conformance",
+];
+
+/// Check one file against every applicable rule, resolving waivers.
+/// Returned findings include waived ones (marked) and waiver-hygiene
+/// diagnostics.
+#[must_use]
+pub fn check_file(input: &FileInput<'_>, cfg: &Config) -> Vec<Finding> {
+    let tokens = lex(input.src);
+    let engine = Engine {
+        input,
+        cfg,
+        tokens: &tokens,
+        code: tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+            })
+            .map(|(i, _)| i)
+            .collect(),
+        findings: Vec::new(),
+    };
+    engine.run()
+}
+
+struct Engine<'a> {
+    input: &'a FileInput<'a>,
+    cfg: &'a Config,
+    tokens: &'a [Token],
+    /// indices into `tokens` of non-comment tokens
+    code: Vec<usize>,
+    findings: Vec<Finding>,
+}
+
+/// A parsed `dses-lint:` comment directive.
+#[derive(Debug)]
+struct Directive {
+    /// line of the comment itself
+    line: u32,
+    /// the source line this waiver covers (same line for trailing
+    /// comments, the next code line for standalone ones)
+    covers: u32,
+    kind: DirectiveKind,
+    /// set when some finding consumed the waiver
+    used: std::cell::Cell<bool>,
+}
+
+#[derive(Debug)]
+enum DirectiveKind {
+    Allow { rules: Vec<String>, file_scope: bool },
+    DenyAlloc,
+}
+
+impl Engine<'_> {
+    fn run(mut self) -> Vec<Finding> {
+        let directives = self.parse_directives();
+        let test_spans = self.test_spans();
+        let deny_spans = self.deny_alloc_spans(&directives);
+
+        let in_test = |engine: &Self, code_pos: usize| {
+            let ti = engine.code[code_pos];
+            test_spans.iter().any(|&(a, b)| ti >= a && ti <= b)
+        };
+
+        // --- code rules, raw findings first ---
+        let mut raw: Vec<Finding> = Vec::new();
+        let checked_kind = self.input.kind;
+        if checked_kind == FileKind::Lib {
+            if self.rule_on("determinism") {
+                self.determinism(&mut raw, &in_test);
+            }
+            if self.rule_on("panic-hygiene") {
+                self.panic_hygiene(&mut raw, &in_test);
+            }
+            if self.rule_on("float-totality")
+                && !self.cfg.is_blessed("float-totality", self.input.path)
+            {
+                self.float_totality(&mut raw, &in_test);
+            }
+        }
+        if checked_kind != FileKind::Test && self.rule_on("no-alloc") {
+            self.no_alloc(&mut raw, &deny_spans);
+        }
+        if self.input.root.is_some() && self.rule_on("header-conformance") {
+            self.header_conformance(&mut raw);
+        }
+
+        // --- resolve waivers ---
+        for f in &mut raw {
+            let hit = directives.iter().find(|d| match &d.kind {
+                DirectiveKind::Allow { rules, file_scope } => {
+                    rules.iter().any(|r| r == f.rule)
+                        && (*file_scope || d.covers == f.line || d.line == f.line)
+                }
+                DirectiveKind::DenyAlloc => false,
+            });
+            if let Some(d) = hit {
+                d.used.set(true);
+                f.waived = true;
+            }
+        }
+        self.findings.append(&mut raw);
+
+        // --- waiver hygiene ---
+        for d in &directives {
+            if let DirectiveKind::Allow { rules, .. } = &d.kind {
+                for r in rules {
+                    if !RULE_IDS.contains(&r.as_str()) {
+                        self.emit(
+                            "waiver-syntax",
+                            d.line,
+                            format!("waiver names unknown rule `{r}`"),
+                            Severity::Deny,
+                        );
+                    }
+                }
+                if !d.used.get() {
+                    self.emit(
+                        "unused-waiver",
+                        d.line,
+                        "waiver suppresses nothing on the line it covers".to_string(),
+                        Severity::Warn,
+                    );
+                }
+            }
+        }
+
+        self.findings
+    }
+
+    fn rule_on(&self, rule: &str) -> bool {
+        self.cfg.rule_applies(rule, self.input.crate_id)
+    }
+
+    fn emit(&mut self, rule: &'static str, line: u32, message: String, severity: Severity) {
+        self.findings.push(Finding {
+            file: self.input.path.to_string(),
+            line,
+            rule,
+            message,
+            waived: false,
+            severity,
+        });
+    }
+
+    fn text(&self, token_index: usize) -> &str {
+        self.tokens[token_index].text(self.input.src)
+    }
+
+    fn code_text(&self, code_pos: usize) -> &str {
+        self.text(self.code[code_pos])
+    }
+
+    fn code_kind(&self, code_pos: usize) -> TokenKind {
+        self.tokens[self.code[code_pos]].kind
+    }
+
+    fn code_line(&self, code_pos: usize) -> u32 {
+        self.tokens[self.code[code_pos]].line
+    }
+
+    // ----- directives -----
+
+    fn parse_directives(&mut self) -> Vec<Directive> {
+        let mut out = Vec::new();
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            // Directives live in *plain* comments only, as the first
+            // thing in the comment: doc comments are rendered text and
+            // routinely quote directive syntax without meaning it.
+            let text = tok.text(self.input.src);
+            let content = match tok.kind {
+                TokenKind::LineComment => {
+                    if text.starts_with("///") || text.starts_with("//!") {
+                        continue;
+                    }
+                    text.trim_start_matches('/')
+                }
+                _ => {
+                    if text.starts_with("/**") || text.starts_with("/*!") {
+                        continue;
+                    }
+                    text.trim_start_matches("/*").trim_end_matches("*/")
+                }
+            };
+            let Some(directive_text) = content.trim().strip_prefix("dses-lint:") else {
+                continue;
+            };
+            let directive_text = directive_text.trim();
+            match self.parse_directive_text(directive_text, tok.line) {
+                Some(kind) => {
+                    // trailing if any code token precedes it on its line
+                    let trailing = self.tokens[..i].iter().any(|t| {
+                        t.line == tok.line
+                            && !matches!(
+                                t.kind,
+                                TokenKind::LineComment | TokenKind::BlockComment
+                            )
+                    });
+                    let covers = if trailing {
+                        tok.line
+                    } else {
+                        // first code token after the comment
+                        self.tokens[i + 1..]
+                            .iter()
+                            .find(|t| {
+                                !matches!(
+                                    t.kind,
+                                    TokenKind::LineComment | TokenKind::BlockComment
+                                )
+                            })
+                            .map_or(tok.line, |t| t.line)
+                    };
+                    out.push(Directive {
+                        line: tok.line,
+                        covers,
+                        kind,
+                        used: std::cell::Cell::new(false),
+                    });
+                }
+                None => { /* finding already emitted */ }
+            }
+        }
+        out
+    }
+
+    /// Parse the text after `dses-lint:`; on malformed input emit a
+    /// `waiver-syntax` finding and return `None`.
+    fn parse_directive_text(&mut self, text: &str, line: u32) -> Option<DirectiveKind> {
+        let (head, file_scope) = if let Some(rest) = text.strip_prefix("allow-file(") {
+            (rest, true)
+        } else if let Some(rest) = text.strip_prefix("allow(") {
+            (rest, false)
+        } else if let Some(rest) = text.strip_prefix("deny(") {
+            let rest = rest.trim();
+            if rest.strip_prefix("alloc").map(str::trim_start).and_then(|r| r.strip_prefix(')'))
+                .is_some()
+            {
+                return Some(DirectiveKind::DenyAlloc);
+            }
+            self.emit(
+                "waiver-syntax",
+                line,
+                "only `deny(alloc)` is supported".to_string(),
+                Severity::Deny,
+            );
+            return None;
+        } else {
+            self.emit(
+                "waiver-syntax",
+                line,
+                format!("cannot parse directive `{text}`"),
+                Severity::Deny,
+            );
+            return None;
+        };
+        let Some(close) = head.find(')') else {
+            self.emit(
+                "waiver-syntax",
+                line,
+                "unterminated rule list in waiver".to_string(),
+                Severity::Deny,
+            );
+            return None;
+        };
+        let rules: Vec<String> = head[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let after = head[close + 1..].trim();
+        let reason = after.strip_prefix("--").map(str::trim);
+        if rules.is_empty() || reason.is_none_or(str::is_empty) {
+            self.emit(
+                "waiver-syntax",
+                line,
+                "waiver needs a rule list and a reason: `allow(<rule>) -- <reason>`"
+                    .to_string(),
+                Severity::Deny,
+            );
+            return None;
+        }
+        Some(DirectiveKind::Allow { rules, file_scope })
+    }
+
+    // ----- region computation -----
+
+    /// Token-index spans (inclusive) of `#[cfg(test)]` / `#[test]`
+    /// items: attribute through the end of the item's brace block (or
+    /// its `;` for bodiless items).
+    fn test_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let code = &self.code;
+        let mut p = 0usize;
+        while p < code.len() {
+            // match `#` `[` … `]`
+            if self.code_text(p) == "#" && p + 1 < code.len() && self.code_text(p + 1) == "[" {
+                let Some(end) = self.match_bracket(p + 1, "[", "]") else {
+                    break;
+                };
+                if self.attr_is_test(p + 2, end) {
+                    let span_end = self.item_end(end + 1).unwrap_or(code.len() - 1);
+                    spans.push((code[p], code[span_end]));
+                    p = span_end + 1;
+                    continue;
+                }
+                p = end + 1;
+                continue;
+            }
+            p += 1;
+        }
+        spans
+    }
+
+    /// Does the attribute body (code positions `[from, to)`) mark test
+    /// code? `test`, `cfg(test)`, `cfg(all(test, …))` — but not
+    /// `cfg(not(test))`.
+    fn attr_is_test(&self, from: usize, to: usize) -> bool {
+        // bare `#[test]`
+        if to == from + 1 && self.code_text(from) == "test" {
+            return true;
+        }
+        if self.code_text(from) != "cfg" {
+            return false;
+        }
+        for p in from..to {
+            if self.code_text(p) == "test" && self.code_kind(p) == TokenKind::Ident {
+                // reject when nested under not(…): scan back for `not`
+                // immediately before the enclosing `(`
+                let mut depth = 0i32;
+                let mut q = p;
+                let mut negated = false;
+                while q > from {
+                    q -= 1;
+                    match self.code_text(q) {
+                        ")" => depth += 1,
+                        "(" => {
+                            if depth == 0 {
+                                if q > from && self.code_text(q - 1) == "not" {
+                                    negated = true;
+                                }
+                                depth -= 1; // keep walking out
+                            } else {
+                                depth -= 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if !negated {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Given the code position just after an attribute, find the end of
+    /// the annotated item: the matching `}` of its first brace block, or
+    /// the first `;` before any brace opens.
+    fn item_end(&self, mut p: usize) -> Option<usize> {
+        // skip further attributes
+        while p + 1 < self.code.len()
+            && self.code_text(p) == "#"
+            && self.code_text(p + 1) == "["
+        {
+            p = self.match_bracket(p + 1, "[", "]")? + 1;
+        }
+        while p < self.code.len() {
+            match self.code_text(p) {
+                ";" => return Some(p),
+                "{" => return self.match_bracket(p, "{", "}"),
+                _ => p += 1,
+            }
+        }
+        None
+    }
+
+    /// Position of the bracket matching the one at code position `open`.
+    fn match_bracket(&self, open: usize, ob: &str, cb: &str) -> Option<usize> {
+        let mut depth = 0i32;
+        for p in open..self.code.len() {
+            let t = self.code_text(p);
+            if t == ob {
+                depth += 1;
+            } else if t == cb {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Token spans of functions annotated `// dses-lint: deny(alloc)`,
+    /// with the function name for messages.
+    fn deny_alloc_spans(&mut self, directives: &[Directive]) -> Vec<(usize, usize, String)> {
+        let mut spans = Vec::new();
+        for d in directives {
+            if !matches!(d.kind, DirectiveKind::DenyAlloc) {
+                continue;
+            }
+            // first `fn` at or after the covered line
+            let Some(fn_pos) = (0..self.code.len()).find(|&p| {
+                self.code_line(p) >= d.covers && self.code_text(p) == "fn"
+            }) else {
+                self.emit(
+                    "waiver-syntax",
+                    d.line,
+                    "deny(alloc) is not followed by a function".to_string(),
+                    Severity::Deny,
+                );
+                continue;
+            };
+            let name = if fn_pos + 1 < self.code.len() {
+                self.code_text(fn_pos + 1).to_string()
+            } else {
+                String::from("?")
+            };
+            let Some(open) = (fn_pos..self.code.len()).find(|&p| self.code_text(p) == "{")
+            else {
+                continue;
+            };
+            let Some(close) = self.match_bracket(open, "{", "}") else {
+                continue;
+            };
+            spans.push((self.code[open], self.code[close], name));
+        }
+        spans
+    }
+
+    // ----- rules -----
+
+    fn determinism<F: Fn(&Self, usize) -> bool>(&self, out: &mut Vec<Finding>, in_test: &F) {
+        for p in 0..self.code.len() {
+            if self.code_kind(p) != TokenKind::Ident || in_test(self, p) {
+                continue;
+            }
+            let t = self.code_text(p);
+            let message = match t {
+                "HashMap" | "HashSet" => Some(format!(
+                    "`{t}` has nondeterministic iteration order in general; use `BTreeMap`/`BTreeSet`, \
+                     or waive with the invariant that it is never iterated"
+                )),
+                "Instant" | "SystemTime" => Some(format!(
+                    "`{t}` reads the wall clock — results must not depend on time"
+                )),
+                "env" if p >= 2
+                    && self.code_text(p - 1) == "::"
+                    && self.code_text(p - 2) == "std" =>
+                {
+                    Some("`std::env` makes results depend on the environment".to_string())
+                }
+                _ => None,
+            };
+            if let Some(message) = message {
+                out.push(self.finding("determinism", self.code_line(p), message));
+            }
+        }
+    }
+
+    fn panic_hygiene<F: Fn(&Self, usize) -> bool>(&self, out: &mut Vec<Finding>, in_test: &F) {
+        for p in 0..self.code.len() {
+            if self.code_kind(p) != TokenKind::Ident || in_test(self, p) {
+                continue;
+            }
+            let t = self.code_text(p);
+            let next = |k: usize| self.code.get(p + k).map(|_| self.code_text(p + k));
+            let flagged = match t {
+                "unwrap" | "expect" => {
+                    p >= 1 && self.code_text(p - 1) == "." && next(1) == Some("(")
+                }
+                "panic" | "todo" | "unimplemented" => next(1) == Some("!"),
+                _ => false,
+            };
+            if flagged {
+                out.push(self.finding(
+                    "panic-hygiene",
+                    self.code_line(p),
+                    format!(
+                        "`{t}` in library code — return a `Result`, use `debug_assert!`, or \
+                         waive with the invariant that makes it unreachable"
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn float_totality<F: Fn(&Self, usize) -> bool>(&self, out: &mut Vec<Finding>, in_test: &F) {
+        for p in 0..self.code.len() {
+            if in_test(self, p) {
+                continue;
+            }
+            let t = self.code_text(p);
+            // `partial_cmp(…).unwrap()` / `.expect(…)`
+            if t == "partial_cmp"
+                && self.code_kind(p) == TokenKind::Ident
+                && self.code.get(p + 1).is_some()
+                && self.code_text(p + 1) == "("
+            {
+                if let Some(close) = self.match_bracket(p + 1, "(", ")") {
+                    if self.code.get(close + 2).is_some()
+                        && self.code_text(close + 1) == "."
+                        && matches!(self.code_text(close + 2), "unwrap" | "expect")
+                    {
+                        out.push(self.finding(
+                            "float-totality",
+                            self.code_line(p),
+                            "`partial_cmp(…).unwrap()` panics on NaN; use `f64::total_cmp` \
+                             (or the OrdF64 wrapper)"
+                                .to_string(),
+                        ));
+                    }
+                }
+                continue;
+            }
+            // `x == 1.0`, `0.0 != y` — equality against a float literal
+            if matches!(t, "==" | "!=") && self.code_kind(p) == TokenKind::Punct {
+                let prev_float = p >= 1 && self.code_kind(p - 1) == TokenKind::Float;
+                let next_float = match self.code.get(p + 1).map(|_| self.code_text(p + 1)) {
+                    Some("-") => {
+                        self.code.get(p + 2).is_some()
+                            && self.code_kind(p + 2) == TokenKind::Float
+                    }
+                    Some(_) => self.code_kind(p + 1) == TokenKind::Float,
+                    None => false,
+                };
+                if prev_float || next_float {
+                    out.push(self.finding(
+                        "float-totality",
+                        self.code_line(p),
+                        format!(
+                            "bare `{t}` against a float literal; compare via `to_bits()` or a \
+                             tolerance, or waive if the exact-value comparison is intended"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn no_alloc(&self, out: &mut Vec<Finding>, spans: &[(usize, usize, String)]) {
+        for &(start, end, ref name) in spans {
+            for p in 0..self.code.len() {
+                let ti = self.code[p];
+                if ti <= start || ti >= end {
+                    continue;
+                }
+                let t = self.code_text(p);
+                let next_is = |k: usize, s: &str| {
+                    self.code.get(p + k).is_some() && self.code_text(p + k) == s
+                };
+                let flagged = match t {
+                    "new" | "from" | "with_capacity" => {
+                        p >= 2
+                            && self.code_text(p - 1) == "::"
+                            && matches!(self.code_text(p - 2), "Vec" | "Box" | "String" | "VecDeque" | "BinaryHeap")
+                    }
+                    "to_vec" | "collect" | "to_string" | "to_owned" => {
+                        p >= 1 && self.code_text(p - 1) == "."
+                    }
+                    "vec" | "format" => next_is(1, "!"),
+                    _ => false,
+                };
+                // method-call `with_capacity` (not behind `::`)
+                let flagged = flagged
+                    || (t == "with_capacity" && p >= 1 && self.code_text(p - 1) == ".");
+                if flagged {
+                    out.push(self.finding(
+                        "no-alloc",
+                        self.code_line(p),
+                        format!(
+                            "`{t}` allocates inside `deny(alloc)` fn `{name}` — reuse workspace \
+                             buffers instead"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn header_conformance(&self, out: &mut Vec<Finding>) {
+        // collect inner attributes `#![…]`
+        let mut attrs = String::new();
+        let mut p = 0usize;
+        while p + 2 < self.code.len() {
+            if self.code_text(p) == "#" && self.code_text(p + 1) == "!" && self.code_text(p + 2) == "["
+            {
+                if let Some(end) = self.match_bracket(p + 2, "[", "]") {
+                    for q in p + 3..end {
+                        attrs.push_str(self.code_text(q));
+                    }
+                    attrs.push(' ');
+                    p = end + 1;
+                    continue;
+                }
+            }
+            p += 1;
+        }
+        let missing_forbid = !attrs.contains("forbid(unsafe_code)");
+        let missing_docs = self.input.root == Some(RootKind::LibRoot)
+            && !(attrs.contains("warn(missing_docs)") || attrs.contains("deny(missing_docs)"));
+        if missing_forbid {
+            out.push(self.finding(
+                "header-conformance",
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            ));
+        }
+        if missing_docs {
+            out.push(self.finding(
+                "header-conformance",
+                1,
+                "library crate root is missing `#![warn(missing_docs)]`".to_string(),
+            ));
+        }
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            file: self.input.path.to_string(),
+            line,
+            rule,
+            message,
+            waived: false,
+            severity: Severity::Deny,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let input = FileInput {
+            path: "crates/sim/src/x.rs",
+            crate_id: "sim",
+            kind: FileKind::Lib,
+            root: None,
+            src,
+        };
+        check_file(&input, &Config::default())
+    }
+
+    fn errors(src: &str) -> Vec<Finding> {
+        check(src)
+            .into_iter()
+            .filter(|f| !f.waived && f.severity == Severity::Deny)
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_and_waivable() {
+        let bad = "use std::collections::HashMap;\n";
+        assert_eq!(errors(bad).len(), 1);
+        let waived =
+            "// dses-lint: allow(determinism) -- keyed lookups only, never iterated\nuse std::collections::HashMap;\n";
+        assert!(errors(waived).is_empty());
+        let trailing =
+            "use std::collections::HashMap; // dses-lint: allow(determinism) -- never iterated\n";
+        assert!(errors(trailing).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\nfn g() { y.unwrap(); }\n";
+        let errs = errors(src);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert_eq!(errs[0].line, 5);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_finding() {
+        let src = "// dses-lint: allow(determinism)\nuse std::collections::HashMap;\n";
+        let errs = errors(src);
+        assert!(errs.iter().any(|f| f.rule == "waiver-syntax"));
+        assert!(errs.iter().any(|f| f.rule == "determinism"));
+    }
+
+    #[test]
+    fn deny_alloc_flags_allocation() {
+        let src = "// dses-lint: deny(alloc)\nfn hot() { let v = Vec::new(); }\nfn cold() { let v = Vec::new(); }\n";
+        let errs = errors(src);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].rule, "no-alloc");
+        assert_eq!(errs[0].line, 2);
+    }
+
+    #[test]
+    fn float_eq_and_partial_cmp() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\nfn g(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }\n";
+        let errs = errors(src);
+        assert_eq!(errs.iter().filter(|f| f.rule == "float-totality").count(), 2);
+        // but to_bits comparison is fine
+        assert!(errors("fn f(x: f64, y: f64) -> bool { x.to_bits() == y.to_bits() }").is_empty());
+    }
+
+    #[test]
+    fn panics_in_strings_and_docs_are_ignored() {
+        let src = "/// call `x.unwrap()` to crash\nfn f() { let s = \"panic!\"; }\n";
+        assert!(errors(src).is_empty());
+    }
+
+    #[test]
+    fn unused_waiver_warns_but_passes() {
+        let src = "// dses-lint: allow(determinism) -- stale\nfn f() {}\n";
+        let all = check(src);
+        assert!(all.iter().any(|f| f.rule == "unused-waiver" && f.severity == Severity::Warn));
+        assert!(all
+            .iter()
+            .all(|f| f.waived || f.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn header_rule_checks_roots_only() {
+        let input = FileInput {
+            path: "crates/sim/src/lib.rs",
+            crate_id: "sim",
+            kind: FileKind::Lib,
+            root: Some(RootKind::LibRoot),
+            src: "//! docs\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n",
+        };
+        assert!(check_file(&input, &Config::default()).is_empty());
+        let bad = FileInput {
+            src: "//! docs\n",
+            ..input
+        };
+        assert_eq!(check_file(&bad, &Config::default()).len(), 2);
+    }
+
+    #[test]
+    fn bin_kind_skips_panic_and_determinism() {
+        let input = FileInput {
+            path: "crates/cli/src/main.rs",
+            crate_id: "cli",
+            kind: FileKind::Bin,
+            root: None,
+            src: "fn main() { std::env::args(); x.unwrap(); }\n",
+        };
+        assert!(check_file(&input, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn allow_file_covers_whole_file() {
+        let src = "// dses-lint: allow-file(float-totality) -- exact-zero guards throughout\nfn f(x: f64) -> bool { x == 0.0 }\nfn g(x: f64) -> bool { x == 1.0 }\n";
+        assert!(errors(src).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Fixture tests: every rule has one violating fixture (each planted
+//! construct is flagged) and one clean fixture (nothing unwaived).
+//!
+//! The fixtures live under `tests/fixtures/<rule>/{bad,good}.rs`; the
+//! driver skips any `fixtures` path component, so the self-check on the
+//! real workspace never sees them. Here they are fed straight to
+//! [`check_file`] with an explicitly constructed [`FileInput`], which is
+//! also what pins the classification each rule is tested under.
+
+use dses_lint::{check_file, Config, FileInput, FileKind, RootKind};
+
+/// Lint a fixture as library code of the `sim` crate (result-affecting,
+/// so every content rule is armed).
+fn lint_lib(src: &str, root: Option<RootKind>) -> Vec<dses_lint::Finding> {
+    let cfg = Config::default_workspace();
+    let input = FileInput {
+        path: "crates/sim/src/fixture.rs",
+        crate_id: "sim",
+        kind: FileKind::Lib,
+        root,
+        src,
+    };
+    check_file(&input, &cfg)
+}
+
+/// Unwaived deny findings for `rule`, as (line, message) pairs.
+fn unwaived(findings: &[dses_lint::Finding], rule: &str) -> Vec<(u32, String)> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.waived && f.severity == dses_lint::Severity::Deny)
+        .map(|f| (f.line, f.message.clone()))
+        .collect()
+}
+
+#[test]
+fn determinism_bad_flags_every_construct() {
+    let findings = lint_lib(include_str!("fixtures/determinism/bad.rs"), None);
+    let hits = unwaived(&findings, "determinism");
+    // 2 use lines + HashSet::new + HashMap type + HashMap::new +
+    // Instant import + Instant::now + std::env
+    assert!(hits.len() >= 7, "expected >= 7 determinism hits: {hits:?}");
+    let all = format!("{hits:?}");
+    for needle in ["HashMap", "HashSet", "Instant", "std::env"] {
+        assert!(all.contains(needle), "missing {needle} in {all}");
+    }
+}
+
+#[test]
+fn determinism_good_is_clean_and_waivers_are_honoured() {
+    let findings = lint_lib(include_str!("fixtures/determinism/good.rs"), None);
+    assert!(unwaived(&findings, "determinism").is_empty(), "{findings:?}");
+    assert!(unwaived(&findings, "waiver-syntax").is_empty(), "{findings:?}");
+    // the waived HashMap sites are still reported, marked waived
+    let waived = findings.iter().filter(|f| f.waived).count();
+    assert!(waived >= 2, "expected the memo waivers to be recorded: {findings:?}");
+}
+
+#[test]
+fn no_alloc_bad_flags_every_allocation() {
+    let findings = lint_lib(include_str!("fixtures/no_alloc/bad.rs"), None);
+    let hits = unwaived(&findings, "no-alloc");
+    // Vec::new, to_vec, collect, Box::new, format!, String::from,
+    // with_capacity — one finding per allocating line
+    let lines: Vec<u32> = hits.iter().map(|(line, _)| *line).collect();
+    assert_eq!(lines, vec![6, 8, 9, 10, 11, 12, 13], "{hits:?}");
+    let all = format!("{hits:?}");
+    for needle in ["to_vec", "collect", "format", "with_capacity"] {
+        assert!(all.contains(needle), "missing {needle} in {all}");
+    }
+    // `cold_setup` (line 20) is not opted in: its `to_vec` is not flagged
+}
+
+#[test]
+fn no_alloc_good_is_clean() {
+    let findings = lint_lib(include_str!("fixtures/no_alloc/good.rs"), None);
+    assert!(unwaived(&findings, "no-alloc").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_hygiene_bad_flags_every_site() {
+    let findings = lint_lib(include_str!("fixtures/panic_hygiene/bad.rs"), None);
+    let hits = unwaived(&findings, "panic-hygiene");
+    assert_eq!(hits.len(), 5, "unwrap/expect/panic!/todo!/unimplemented!: {hits:?}");
+}
+
+#[test]
+fn panic_hygiene_good_is_clean() {
+    let findings = lint_lib(include_str!("fixtures/panic_hygiene/good.rs"), None);
+    assert!(unwaived(&findings, "panic-hygiene").is_empty(), "{findings:?}");
+    // assert!/unreachable! are the blessed forms — no findings at all
+    // beyond the one honoured waiver
+    assert_eq!(findings.iter().filter(|f| f.waived).count(), 1, "{findings:?}");
+}
+
+#[test]
+fn float_totality_bad_flags_partial_cmp_and_bare_eq() {
+    let findings = lint_lib(include_str!("fixtures/float_totality/bad.rs"), None);
+    let hits = unwaived(&findings, "float-totality");
+    // partial_cmp().unwrap(), partial_cmp().expect(), == 1.0, != 0.0
+    assert_eq!(hits.len(), 4, "{hits:?}");
+}
+
+#[test]
+fn float_totality_good_is_clean() {
+    let findings = lint_lib(include_str!("fixtures/float_totality/good.rs"), None);
+    assert!(unwaived(&findings, "float-totality").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn float_totality_is_off_in_blessed_files() {
+    let cfg = Config::default_workspace();
+    let input = FileInput {
+        path: "crates/sim/src/fast.rs", // blessed in lint.toml
+        crate_id: "sim",
+        kind: FileKind::Lib,
+        root: None,
+        src: include_str!("fixtures/float_totality/bad.rs"),
+    };
+    let findings = check_file(&input, &cfg);
+    assert!(unwaived(&findings, "float-totality").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn header_bad_flags_missing_preamble() {
+    let findings = lint_lib(
+        include_str!("fixtures/header_conformance/bad.rs"),
+        Some(RootKind::LibRoot),
+    );
+    let hits = unwaived(&findings, "header-conformance");
+    assert!(!hits.is_empty(), "{findings:?}");
+    assert!(format!("{hits:?}").contains("forbid(unsafe_code)"), "{hits:?}");
+}
+
+#[test]
+fn header_good_is_clean() {
+    let findings = lint_lib(
+        include_str!("fixtures/header_conformance/good.rs"),
+        Some(RootKind::LibRoot),
+    );
+    assert!(unwaived(&findings, "header-conformance").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn header_rule_ignores_non_roots() {
+    let findings = lint_lib(include_str!("fixtures/header_conformance/bad.rs"), None);
+    assert!(unwaived(&findings, "header-conformance").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn test_code_is_exempt_from_content_rules() {
+    let cfg = Config::default_workspace();
+    for fixture in [
+        include_str!("fixtures/determinism/bad.rs"),
+        include_str!("fixtures/panic_hygiene/bad.rs"),
+        include_str!("fixtures/float_totality/bad.rs"),
+    ] {
+        let input = FileInput {
+            path: "tests/fixture.rs",
+            crate_id: "integration",
+            kind: FileKind::Test,
+            root: None,
+            src: fixture,
+        };
+        let findings = check_file(&input, &cfg);
+        assert!(
+            findings.iter().all(|f| f.waived || f.severity == dses_lint::Severity::Warn),
+            "test code should only get waiver hygiene: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn non_result_affecting_crates_skip_determinism() {
+    let cfg = Config::default_workspace();
+    let input = FileInput {
+        path: "crates/bench/src/fixture.rs",
+        crate_id: "bench", // not in the determinism crate list
+        kind: FileKind::Lib,
+        root: None,
+        src: include_str!("fixtures/determinism/bad.rs"),
+    };
+    let findings = check_file(&input, &cfg);
+    assert!(unwaived(&findings, "determinism").is_empty(), "{findings:?}");
+}

@@ -1,0 +1,20 @@
+//! Fixture: iteration-order-dependent containers and ambient inputs in
+//! a result-affecting crate. Every construct below must be flagged.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen = HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let _t = Instant::now();
+    let _home = std::env::var("HOME");
+    seen.len()
+}

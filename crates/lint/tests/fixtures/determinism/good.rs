@@ -1,0 +1,20 @@
+//! Fixture: the deterministic counterparts — ordered containers, no
+//! clocks, no environment reads — plus one properly waived memo.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+// dses-lint: allow(determinism) -- memo keyed by exact bit patterns, never iterated
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen = BTreeSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let _memo: HashMap<u64, f64> = HashMap::new(); // dses-lint: allow(determinism) -- keyed lookups only
+    seen.len()
+}

@@ -1,0 +1,19 @@
+//! Fixture: NaN-unsound float comparisons outside the blessed helpers.
+
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+pub fn sorted(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs here"));
+}
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn is_nonzero(x: f64) -> bool {
+    x != 0.0
+}

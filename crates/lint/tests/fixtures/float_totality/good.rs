@@ -1,0 +1,23 @@
+//! Fixture: total-order float handling — `total_cmp`, range guards, and
+//! one waived exact-boundary check.
+
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(f64::total_cmp)
+}
+
+pub fn sorted(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+pub fn is_unit(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-12
+}
+
+pub fn is_degenerate(p: f64) -> bool {
+    // dses-lint: allow(float-totality) -- intentional exact-underflow guard
+    p == 0.0
+}
+
+pub fn int_compare(a: u64, b: u64) -> bool {
+    a == b // integer equality is not a float comparison
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root missing the workspace preamble — no
+//! `#![forbid(unsafe_code)]`, no `#![warn(missing_docs)]`.
+
+pub fn exported() -> u8 {
+    7
+}

@@ -1,0 +1,9 @@
+//! Fixture: the full workspace preamble on a crate root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A documented export.
+pub fn exported() -> u8 {
+    7
+}

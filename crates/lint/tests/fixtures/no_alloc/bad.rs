@@ -1,0 +1,21 @@
+//! Fixture: a function opted into the allocation rule that allocates
+//! through every construct the rule knows about.
+
+// dses-lint: deny(alloc)
+pub fn hot_loop(xs: &[f64]) -> f64 {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(xs);
+    let copied = xs.to_vec();
+    let squares: Vec<f64> = xs.iter().map(|x| x * x).collect();
+    let boxed = Box::new(copied);
+    let label = format!("{} elements", boxed.len());
+    let owned = String::from("tmp");
+    let mut sized = Vec::with_capacity(xs.len());
+    sized.push(owned.len() as f64 + label.len() as f64);
+    squares.iter().sum::<f64>() + sized[0]
+}
+
+pub fn cold_setup(xs: &[f64]) -> Vec<f64> {
+    // not opted in: allocation here is fine
+    xs.to_vec()
+}

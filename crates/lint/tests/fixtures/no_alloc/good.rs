@@ -1,0 +1,16 @@
+//! Fixture: an opted-in function that only writes through caller-owned
+//! buffers — the shape of the workspace's `*_into` sweep kernels.
+
+// dses-lint: deny(alloc)
+pub fn hot_loop_into(xs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    for &x in xs {
+        // push into reserved capacity is fine; only fresh allocation
+        // constructs are flagged
+        out.push(x * x);
+    }
+}
+
+pub fn cold_setup(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}

@@ -1,0 +1,18 @@
+//! Fixture: unwaived panics in library code.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller passes digits")
+}
+
+pub fn todo_branch(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        1 => panic!("one is not supported"),
+        2 => todo!(),
+        _ => unimplemented!(),
+    }
+}

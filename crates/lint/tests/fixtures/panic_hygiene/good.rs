@@ -1,0 +1,28 @@
+//! Fixture: panic hygiene done right — fallible APIs, documented
+//! invariant waivers, and the assertion forms that are always allowed.
+
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn head(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "head() requires a non-empty slice");
+    // dses-lint: allow(panic-hygiene) -- asserted non-empty on the line above
+    *xs.first().unwrap()
+}
+
+pub fn classify(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!("callers pass 0 only, validated at the boundary"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Result<u8, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

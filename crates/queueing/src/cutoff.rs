@@ -19,6 +19,8 @@
 use crate::sita::SitaAnalysis;
 use dses_dist::numeric;
 use dses_dist::{Distribution, Rng64};
+// dses-lint: allow(determinism) -- moment memo: keyed by exact bit patterns,
+// entries only read back by key, never iterated, so hash order cannot reach a result
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -112,6 +114,7 @@ impl std::hash::Hasher for MomentKeyHasher {
     }
 }
 
+// dses-lint: allow(determinism) -- same invariant as above: lookups only, no iteration
 type MomentMap<K> = HashMap<K, f64, std::hash::BuildHasherDefault<MomentKeyHasher>>;
 
 impl<'a, D: Distribution + ?Sized> TruncatedMoments<'a, D> {
@@ -144,6 +147,7 @@ impl<'a, D: Distribution + ?Sized> TruncatedMoments<'a, D> {
         // One hash, one lock: `entry` computes under the lock, which is
         // safe (the inner distribution never re-enters the cache) and
         // uncontended (each solve owns its own wrapper).
+        // dses-lint: allow(panic-hygiene) -- single-threaded per wrapper; poisoning is unreachable
         match table.lock().unwrap().entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);

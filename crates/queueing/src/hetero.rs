@@ -81,6 +81,7 @@ pub fn analyze_hetero<D: Distribution + ?Sized>(
     for (w, &speed) in edges.windows(2).zip(speeds) {
         let (a, b) = (w[0], w[1]);
         let p = dist.prob_in(a, b);
+        // dses-lint: allow(float-totality) -- intentional exact-underflow guard
         if !(p > 1e-300) || lambda * p == 0.0 {
             hosts.push(HeteroHost {
                 interval: (a, b),
@@ -93,6 +94,7 @@ pub fn analyze_hetero<D: Distribution + ?Sized>(
             });
             continue;
         }
+        // dses-lint: allow(panic-hygiene) -- guarded: the vanishing-mass branch above `continue`s
         let base = ServiceMoments::of_interval(dist, a, b).expect("positive mass");
         // scale the *time* moments; keep the reference inverse moments
         let scaled = ServiceMoments {

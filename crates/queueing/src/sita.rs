@@ -105,6 +105,7 @@ impl SitaAnalysis {
             let work = dist.partial_moment(1, a, b);
             // treat subnormal-probability bands as empty: the host gets
             // effectively no jobs, and λ·p would underflow to zero anyway
+            // dses-lint: allow(float-totality) -- intentional exact-underflow guard
             if !(p > 1e-300) || lambda * p == 0.0 {
                 hosts.push(SitaHost {
                     interval: (a, b),
@@ -121,6 +122,7 @@ impl SitaAnalysis {
                 });
                 continue;
             }
+            // dses-lint: allow(panic-hygiene) -- guarded: the branch above returns on vanishing mass
             let service = ServiceMoments::of_interval(dist, a, b).expect("positive mass");
             let host_lambda = lambda * p;
             let q = Mg1::new(host_lambda, service);
@@ -191,6 +193,7 @@ impl SitaAnalysis {
             .iter()
             .find(|h| x > h.interval.0 && x <= h.interval.1)
             .or_else(|| self.hosts.last())
+            // dses-lint: allow(panic-hygiene) -- analyze() always builds >= 1 host (edges has >= 2 entries)
             .expect("at least one host");
         1.0 + host.mean_waiting / x
     }

@@ -1,3 +1,5 @@
+// dses-lint: allow-file(float-totality) -- transform boundary values (s == 0, t == 0,
+// partial sums hitting exactly 1) are mathematically exact special cases, not tolerances
 //! The M/G/1 waiting-time *distribution* by transform inversion
 //! (extension).
 //!

@@ -116,6 +116,7 @@ pub(crate) struct EventWorkspace {
     fcfs: VecDeque<Job>,
     /// SJF: min-heap on (size, arrival sequence) — FCFS among equals
     sjf: BinaryHeap<Reverse<(OrdF64, u64)>>,
+    // dses-lint: allow(determinism) -- keyed by job id, never iterated
     sjf_jobs: std::collections::HashMap<u64, Job>,
 }
 
@@ -127,6 +128,7 @@ impl EventWorkspace {
             views: Vec::new(),
             fcfs: VecDeque::new(),
             sjf: BinaryHeap::new(),
+            // dses-lint: allow(determinism) -- keyed by job id, never iterated
             sjf_jobs: std::collections::HashMap::new(),
         }
     }
@@ -218,6 +220,7 @@ impl EventEngine {
     /// [`EventEngine::run_dispatch`] through caller-owned buffers
     /// (allocation-free in steady state, like
     /// [`crate::fast::simulate_dispatch_into`]).
+    // dses-lint: deny(alloc)
     pub fn run_dispatch_into<P: Dispatcher + ?Sized>(
         &self,
         trace: &Trace,
@@ -244,9 +247,11 @@ impl EventEngine {
             match (arrival_time, departure_time) {
                 (None, None) => break,
                 // departures first on ties: `d <= a`
-                (a, Some(d)) if a.is_none() || d <= a.unwrap() => {
+                (a, Some(d)) if a.is_none_or(|a| d <= a) => {
+                    // dses-lint: allow(panic-hygiene) -- heap non-empty: this arm matched Some(d)
                     let Reverse((OrdF64(now), h)) = departures.pop().expect("peeked");
                     let (job, start, completion) =
+                        // dses-lint: allow(panic-hygiene) -- a departure is scheduled only while serving
                         hosts[h].serving.take().expect("departure from idle host");
                     debug_assert_eq!(completion, now);
                     collector.record(JobRecord {
@@ -307,6 +312,7 @@ impl EventEngine {
     }
 
     /// [`EventEngine::run_central_queue`] through caller-owned buffers.
+    // dses-lint: deny(alloc)
     pub fn run_central_queue_into(
         &self,
         trace: &Trace,
@@ -327,6 +333,7 @@ impl EventEngine {
         let push_central = |job: Job,
                             fcfs: &mut VecDeque<Job>,
                             sjf: &mut BinaryHeap<Reverse<(OrdF64, u64)>>,
+                            // dses-lint: allow(determinism) -- keyed lookups only
                             sjf_jobs: &mut std::collections::HashMap<u64, Job>| {
             match discipline {
                 QueueDiscipline::Fcfs => fcfs.push_back(job),
@@ -338,11 +345,13 @@ impl EventEngine {
         };
         let pop_central = |fcfs: &mut VecDeque<Job>,
                            sjf: &mut BinaryHeap<Reverse<(OrdF64, u64)>>,
+                           // dses-lint: allow(determinism) -- keyed lookups only
                            sjf_jobs: &mut std::collections::HashMap<u64, Job>| {
             match discipline {
                 QueueDiscipline::Fcfs => fcfs.pop_front(),
                 QueueDiscipline::Sjf => sjf
                     .pop()
+                    // dses-lint: allow(panic-hygiene) -- every heap id was inserted by push_central
                     .map(|Reverse((_, id))| sjf_jobs.remove(&id).expect("job stored")),
             }
         };
@@ -353,9 +362,11 @@ impl EventEngine {
             let departure_time = departures.peek().map(|Reverse((OrdF64(t), _))| *t);
             match (arrival_time, departure_time) {
                 (None, None) => break,
-                (a, Some(d)) if a.is_none() || d <= a.unwrap() => {
+                (a, Some(d)) if a.is_none_or(|a| d <= a) => {
+                    // dses-lint: allow(panic-hygiene) -- heap non-empty: this arm matched Some(d)
                     let Reverse((OrdF64(now), h)) = departures.pop().expect("peeked");
                     let (job, start, completion) =
+                        // dses-lint: allow(panic-hygiene) -- a departure is scheduled only while serving
                         hosts[h].serving.take().expect("departure from idle host");
                     collector.record(JobRecord {
                         id: job.id,

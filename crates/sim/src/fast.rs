@@ -158,6 +158,7 @@ pub fn simulate_dispatch<P: Dispatcher + ?Sized>(
 /// overwritten). After one warm-up run of the same shape, a call
 /// performs **zero heap allocations** — the loop body of an
 /// allocation-free sweep.
+// dses-lint: deny(alloc)
 pub fn simulate_dispatch_into<P: Dispatcher + ?Sized>(
     trace: &Trace,
     hosts: usize,
@@ -196,6 +197,7 @@ pub fn simulate_dispatch_speeds<P: Dispatcher + ?Sized>(
 
 /// [`simulate_dispatch_speeds`] through caller-owned buffers; see
 /// [`simulate_dispatch_into`].
+// dses-lint: deny(alloc)
 pub fn simulate_dispatch_speeds_into<P: Dispatcher + ?Sized>(
     trace: &Trace,
     speeds: &[f64],
@@ -219,6 +221,7 @@ pub fn simulate_dispatch_speeds_into<P: Dispatcher + ?Sized>(
 /// update `start = max(now, free_at)`, `free_at = start + service` —
 /// so the choice of loop never changes a schedule, only how much host
 /// bookkeeping is maintained between dispatches.
+// dses-lint: deny(alloc)
 fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
     trace: &Trace,
     speeds: &S,

@@ -114,7 +114,7 @@ impl Batch {
             }
             match catch_unwind(AssertUnwindSafe(|| (self.run)(i))) {
                 Ok(()) => {
-                    let mut done = self.done.lock().expect("batch accounting poisoned");
+                    let mut done = self.done.lock().expect("batch accounting poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
                     done.completed += 1;
                     if done.completed == self.n {
                         self.finished.notify_all();
@@ -123,7 +123,7 @@ impl Batch {
                 Err(payload) => {
                     // stop other workers from claiming more indices
                     self.next.fetch_max(self.n, Ordering::Relaxed);
-                    let mut done = self.done.lock().expect("batch accounting poisoned");
+                    let mut done = self.done.lock().expect("batch accounting poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
                     if done.panic.is_none() {
                         done.panic = Some(payload);
                     }
@@ -187,7 +187,7 @@ impl WorkerPool {
     /// helper counts — threads persist between calls).
     #[must_use]
     pub fn spawned_workers(&self) -> usize {
-        self.shared.state.lock().expect("pool state poisoned").spawned
+        self.shared.state.lock().expect("pool state poisoned").spawned // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
     }
 
     /// The pool-threaded equivalent of `(0..n).map(f).collect()`.
@@ -220,7 +220,7 @@ impl WorkerPool {
                 let slots = Arc::clone(&slots);
                 Box::new(move |i| {
                     let result = f(i);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
                 })
             },
             done: Mutex::new(BatchDone {
@@ -234,12 +234,12 @@ impl WorkerPool {
         // on a helper thread becoming free.
         batch.work();
         let panic = {
-            let mut done = batch.done.lock().expect("batch accounting poisoned");
+            let mut done = batch.done.lock().expect("batch accounting poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
             while done.completed < n && done.panic.is_none() {
                 done = batch
                     .finished
                     .wait(done)
-                    .expect("batch accounting poisoned");
+                    .expect("batch accounting poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
             }
             done.panic.take()
         };
@@ -251,9 +251,9 @@ impl WorkerPool {
             .iter()
             .map(|slot| {
                 slot.lock()
-                    .expect("result slot poisoned")
+                    .expect("result slot poisoned") // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
                     .take()
-                    .expect("worker filled every claimed slot")
+                    .expect("worker filled every claimed slot") // dses-lint: allow(panic-hygiene) -- run_indexed waits until all n indices completed
             })
             .collect()
     }
@@ -261,14 +261,14 @@ impl WorkerPool {
     /// Enqueue a batch and make sure at least `helpers` pool threads
     /// exist to serve it.
     fn submit(&self, batch: Arc<Batch>, helpers: usize) {
-        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        let mut state = self.shared.state.lock().expect("pool state poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
         while state.spawned < helpers {
             let shared = Arc::clone(&self.shared);
             let id = state.spawned;
             std::thread::Builder::new()
                 .name(format!("dses-pool-{id}"))
                 .spawn(move || worker_loop(&shared))
-                .expect("failed to spawn pool worker");
+                .expect("failed to spawn pool worker"); // dses-lint: allow(panic-hygiene) -- cannot run a sweep without threads; abort is the only option
             state.spawned += 1;
         }
         state.queue.push_back(batch);
@@ -279,7 +279,7 @@ impl WorkerPool {
     /// Remove a finished batch from the queue (workers also prune drained
     /// batches opportunistically; this handles the fully-idle case).
     fn retire(&self, batch: &Arc<Batch>) {
-        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        let mut state = self.shared.state.lock().expect("pool state poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
         state.queue.retain(|b| !Arc::ptr_eq(b, batch));
     }
 }
@@ -292,7 +292,7 @@ impl Default for WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        let mut state = self.shared.state.lock().expect("pool state poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
         state.shutdown = true;
         drop(state);
         self.shared.work_ready.notify_all();
@@ -304,7 +304,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let batch = {
-            let mut state = shared.state.lock().expect("pool state poisoned");
+            let mut state = shared.state.lock().expect("pool state poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
             loop {
                 state.queue.retain(|b| !b.drained());
                 if let Some(b) = state.queue.iter().find(|b| b.try_admit()) {
@@ -316,7 +316,7 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared
                     .work_ready
                     .wait(state)
-                    .expect("pool state poisoned");
+                    .expect("pool state poisoned"); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
             }
         };
         batch.work();
@@ -373,7 +373,7 @@ where
                     break;
                 }
                 let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                *slots[i].lock().expect("result slot poisoned") = Some(result); // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
             });
         }
     });
@@ -381,8 +381,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
+                .expect("result slot poisoned") // dses-lint: allow(panic-hygiene) -- poisoned lock means a worker panicked; that panic is already propagating
+                .expect("worker filled every claimed slot") // dses-lint: allow(panic-hygiene) -- run_indexed waits until all n indices completed
         })
         .collect()
 }

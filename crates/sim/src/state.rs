@@ -44,6 +44,7 @@ impl SystemState<'_> {
             .enumerate()
             .min_by(|(_, a), (_, b)| a.queue_len.cmp(&b.queue_len))
             .map(|(i, _)| i)
+            // dses-lint: allow(panic-hygiene) -- engines assert hosts >= 1 before any dispatch
             .expect("at least one host")
     }
 
@@ -56,6 +57,7 @@ impl SystemState<'_> {
             .enumerate()
             .min_by(|(_, a), (_, b)| a.work_left.total_cmp(&b.work_left))
             .map(|(i, _)| i)
+            // dses-lint: allow(panic-hygiene) -- engines assert hosts >= 1 before any dispatch
             .expect("at least one host")
     }
 
@@ -70,6 +72,7 @@ impl SystemState<'_> {
             .iter()
             .copied()
             .min_by(|&a, &b| self.hosts[a].work_left.total_cmp(&self.hosts[b].work_left))
+            // dses-lint: allow(panic-hygiene) -- documented: panics on empty subset
             .expect("subset must be non-empty")
     }
 }

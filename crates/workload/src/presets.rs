@@ -54,6 +54,7 @@ impl WorkloadPreset {
         trace_jobs: usize,
     ) -> Self {
         let size_dist = fit_body_tail(targets)
+            // dses-lint: allow(panic-hygiene) -- shipped preset targets are known-calibratable (exercised by tests)
             .unwrap_or_else(|e| panic!("preset {name} failed to calibrate: {e}"));
         Self {
             name,

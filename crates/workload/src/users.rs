@@ -36,7 +36,7 @@ impl UserTrace {
     /// Number of distinct users that actually submitted jobs.
     #[must_use]
     pub fn active_users(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &u in &self.user_of_job {
             seen.insert(u);
         }
@@ -151,6 +151,7 @@ impl<D: Distribution + Clone> UserWorkloadBuilder<D> {
             .collect();
         // within-user multiplicative jitter with mean 1
         let jitter = (self.within_scv > 0.0)
+            // dses-lint: allow(panic-hygiene) -- scv > 0 guarded above; mean-one lognormals always fit
             .then(|| LogNormal::fit_mean_scv(1.0, self.within_scv).expect("valid scv"));
         // arrival rate for the target load, based on the *scale* mean
         // (the jitter is mean-one, so the marginal mean matches)
