@@ -8,10 +8,13 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
-# Source-level invariant gate: determinism, no-alloc, panic-hygiene,
-# float-totality, header-conformance (see DESIGN.md §10). Exits nonzero
-# on any unwaived finding; waivers are inline and carry reasons.
-cargo run --release -q -p dses-lint -- --workspace
+# Source-level invariant gate: the per-file rules (determinism,
+# no-alloc, panic-hygiene, float-totality, header-conformance) plus the
+# semantic tier (transitive no-alloc/determinism over the call graph,
+# crate-layering enforcement, StateNeeds-vs-usage verification; see
+# DESIGN.md §10). Exits nonzero on any unwaived finding; waivers are
+# inline and carry reasons.
+cargo run --release -q -p dses-lint -- --workspace --semantic
 
 # Perf smoke: tiny-config perf_report exercising the parallel sweep, the
 # specialized kernels, and the memoized cutoff solvers. Exits nonzero if

@@ -125,6 +125,7 @@ impl LogHistogram {
         Self {
             log_lo: lo.log10(),
             log_hi: hi.log10(),
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: Collector::reset only constructs a histogram when the layout changes
             bins: vec![OnlineMoments::new(); bins],
         }
     }

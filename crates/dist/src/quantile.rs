@@ -148,9 +148,12 @@ impl P2Quantile {
             return 0.0;
         }
         if self.count < 5 {
-            let mut v = self.initial[..self.count as usize].to_vec();
-            v.sort_by(f64::total_cmp);
-            let idx = ((self.q * self.count as f64).ceil() as usize).clamp(1, v.len());
+            // sort a stack copy — estimate() sits on the zero-allocation
+            // estimates_into() path, so no `.to_vec()` here
+            let n = self.count as usize;
+            let mut v = self.initial;
+            v[..n].sort_unstable_by(f64::total_cmp);
+            let idx = ((self.q * self.count as f64).ceil() as usize).clamp(1, n);
             return v[idx - 1];
         }
         self.heights[2]
@@ -174,6 +177,7 @@ impl QuantileSet {
     #[must_use]
     pub fn new(quantiles: &[f64]) -> Self {
         Self {
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: Collector::reset only constructs a set when percentiles are first enabled
             estimators: quantiles.iter().map(|&q| P2Quantile::new(q)).collect(),
         }
     }
@@ -199,6 +203,7 @@ impl QuantileSet {
         self.estimators
             .iter()
             .map(|e| (e.q(), e.estimate()))
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: finish_into takes this path only on a result slot's first run
             .collect()
     }
 

@@ -47,6 +47,10 @@ pub struct Config {
     pub result_affecting: Vec<String>,
     /// Per-rule scoping, keyed by rule id.
     pub rules: BTreeMap<String, RuleConfig>,
+    /// Declared crate-layering DAG: each crate maps to the crates it may
+    /// depend on (`[layering]` section, `crate = ["dep", …]`). Empty
+    /// when undeclared — the layering analysis is then skipped.
+    pub layering: BTreeMap<String, Vec<String>>,
 }
 
 impl Config {
@@ -104,7 +108,9 @@ impl Config {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
-                let known = section == "workspace" || section.starts_with("rules.");
+                let known = section == "workspace"
+                    || section == "layering"
+                    || section.starts_with("rules.");
                 if !known {
                     return Err(format!("line {lineno}: unknown section [{section}]"));
                 }
@@ -122,6 +128,9 @@ impl Config {
                 }
                 ("workspace", k) => {
                     return Err(format!("line {lineno}: unknown workspace key `{k}`"));
+                }
+                ("layering", k) => {
+                    cfg.layering.insert(k.to_string(), value.into_array()?);
                 }
                 (s, k) => {
                     let Some(rule) = s.strip_prefix("rules.") else {
@@ -294,5 +303,19 @@ blessed = ["crates/sim/src/fast.rs"]
         let cfg = Config::default_workspace();
         assert!(!cfg.result_affecting.is_empty());
         assert!(cfg.rules.contains_key("determinism"));
+        assert!(
+            !cfg.layering.is_empty(),
+            "committed lint.toml declares the layering DAG"
+        );
+    }
+
+    #[test]
+    fn layering_section_parses() {
+        let cfg = Config::parse(
+            "[layering]\ndist = []\nsim = [\"dist\", \"workload\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.layering["dist"], Vec::<String>::new());
+        assert_eq!(cfg.layering["sim"], ["dist", "workload"]);
     }
 }

@@ -40,8 +40,25 @@ pub fn load_config(root: &Path) -> Result<Config, String> {
     }
 }
 
-/// Lint the whole workspace under `root`.
-pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+/// One classified, loaded workspace source file — the unit both the
+/// per-file engine and the semantic tier consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Crate directory name (`sim`, `core`, … or `integration`).
+    pub crate_id: String,
+    /// Target kind.
+    pub kind: FileKind,
+    /// Set when the file is a crate root.
+    pub root: Option<RootKind>,
+    /// File contents.
+    pub src: String,
+}
+
+/// Walk the workspace under `root` and load every lintable source file,
+/// classified and sorted by path.
+pub fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
@@ -61,7 +78,51 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
         }
     }
     files.sort();
-    lint_files(root, &files, cfg)
+    let mut out = Vec::new();
+    for file in &files {
+        let rel = workspace_rel(root, file);
+        if rel.split('/').any(|c| c == "fixtures" || c == "target") {
+            continue;
+        }
+        let Some((crate_id, kind, root_kind)) = classify(root, &rel) else {
+            continue;
+        };
+        let src =
+            std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        out.push(SourceFile {
+            rel,
+            crate_id,
+            kind,
+            root: root_kind,
+            src,
+        });
+    }
+    Ok(out)
+}
+
+/// Lint the whole workspace under `root`. With `semantic`, also build
+/// the workspace item graph and run the interprocedural analyses.
+pub fn lint_workspace(root: &Path, cfg: &Config, semantic: bool) -> Result<Report, String> {
+    let files = collect_workspace(root)?;
+    let mut report = Report::default();
+    for f in &files {
+        let input = FileInput {
+            path: &f.rel,
+            crate_id: &f.crate_id,
+            kind: f.kind,
+            root: f.root,
+            src: &f.src,
+        };
+        report.findings.extend(check_file(&input, cfg));
+        report.files_scanned += 1;
+    }
+    if semantic {
+        report
+            .findings
+            .extend(crate::semantic::check_workspace(root, &files, cfg));
+    }
+    report.sort();
+    Ok(report)
 }
 
 /// Lint an explicit list of files (absolute or root-relative paths).

@@ -226,15 +226,17 @@ impl Lexer<'_> {
             self.pos += 1;
         }
         if self.src.get(self.pos) == Some(&b'\'') {
-            // byte char b'x'
+            // byte char b'x', b'\n', b'\xff'
             self.pos += 1;
             if self.src.get(self.pos) == Some(&b'\\') {
-                self.pos += 2;
-            } else if self.pos < self.src.len() {
-                self.bump();
-            }
-            if self.src.get(self.pos) == Some(&b'\'') {
-                self.pos += 1;
+                self.scan_escaped_char_tail();
+            } else {
+                if self.pos < self.src.len() {
+                    self.bump();
+                }
+                if self.src.get(self.pos) == Some(&b'\'') {
+                    self.pos += 1;
+                }
             }
             self.push(TokenKind::Char, start, line);
             return;
@@ -277,17 +279,28 @@ impl Lexer<'_> {
         }
     }
 
+    /// `pos` is on the backslash inside a char/byte literal. Consume the
+    /// backslash plus the escaped character — which may itself be `'`,
+    /// as in `'\''` — then scan to the closing quote. Handles multi-byte
+    /// escapes (`\xff`, `\u{1F600}`) that a fixed-width skip would split.
+    fn scan_escaped_char_tail(&mut self) {
+        self.pos += 1;
+        if self.pos < self.src.len() {
+            self.bump();
+        }
+        while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+            self.bump();
+        }
+        self.pos = (self.pos + 1).min(self.src.len());
+    }
+
     fn char_or_lifetime(&mut self) {
         let (start, line) = (self.pos, self.line);
         self.pos += 1;
         match self.src.get(self.pos) {
             Some(b'\\') => {
-                // escaped char literal '\n', '\u{…}'
-                self.pos += 1;
-                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
-                    self.bump();
-                }
-                self.pos = (self.pos + 1).min(self.src.len());
+                // escaped char literal '\n', '\u{…}', '\''
+                self.scan_escaped_char_tail();
                 self.push(TokenKind::Char, start, line);
             }
             Some(&b) if is_ident_start(b) => {
@@ -511,5 +524,50 @@ mod tests {
         let toks = kinds(src);
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t == "b\"bytes\""));
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn byte_string_variants_are_single_opaque_tokens() {
+        // escaped byte string, raw byte string, C string: the payload
+        // must not leak idents (an `unwrap` inside is not a panic site)
+        let src = r###"let a = b"esc\"unwrap()"; let b = br#"raw unwrap()"#; let c = c"cstr unwrap()";"###;
+        let toks = kinds(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "a", "let", "b", "let", "c"]);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        let src = "fn r#fn(r#type: u32) -> u32 { r#type }";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Ident && t == "r#type")
+                .count(),
+            2
+        );
+        // no stray `#` puncts from mis-lexed raw idents
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == "#"));
+    }
+
+    #[test]
+    fn multibyte_escapes_in_char_literals() {
+        // b'\xff' used to shatter into Char "b'\x" + Ident "ff" + a bogus
+        // Char swallowing the `;`; same for '\'' terminating early.
+        let src = r"let a = b'\xff'; let b = '\u{1F600}'; let c = '\''; done();";
+        let toks = kinds(src);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, [r"b'\xff'", r"'\u{1F600}'", r"'\''"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "done"));
     }
 }

@@ -13,11 +13,19 @@
 //!
 //! It is a deliberately small static-analysis pass: a raw-token lexer
 //! ([`lexer`]), a rule engine ([`rules`]), a hand-rolled `lint.toml`
-//! config ([`config`]), text/JSON reporting ([`report`]), and a
+//! config ([`config`]), text/JSON/GitHub reporting ([`report`]), and a
 //! workspace walker ([`driver`]). No dependencies, no `syn`, no full
-//! parse — every rule needs only tokens, comments, and bracket
+//! parse — every per-file rule needs only tokens, comments, and bracket
 //! matching, which keeps the tool trivially auditable and fast enough
 //! to run in CI on every build.
+//!
+//! On top of the per-file tier sits a **semantic tier** (`--semantic`):
+//! a lightweight item parser ([`items`]) feeds a workspace-wide item
+//! graph ([`graph`]) — per-crate symbol tables, name resolution good
+//! enough for workspace-local paths, and a conservative call graph —
+//! on which [`semantic`] runs four interprocedural analyses:
+//! transitive no-alloc, transitive determinism, crate-layering
+//! enforcement, and `StateNeeds`-vs-usage verification.
 //!
 //! ## Waivers
 //!
@@ -37,9 +45,12 @@
 
 pub mod config;
 pub mod driver;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 
 pub use config::Config;
 pub use report::{Finding, Report, Severity};

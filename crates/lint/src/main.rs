@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dses-lint --workspace            # lint every crate, exit 1 on findings
+//! dses-lint --workspace --semantic # also run the workspace-wide analyses
 //! dses-lint --workspace --json     # machine-readable output
 //! dses-lint crates/sim/src/fast.rs # lint specific files
 //! dses-lint --list-rules           # print the rule catalogue
@@ -12,9 +13,17 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 struct Args {
     workspace: bool,
-    json: bool,
+    semantic: bool,
+    format: Format,
     verbose: bool,
     list_rules: bool,
     root: Option<PathBuf>,
@@ -24,7 +33,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         workspace: false,
-        json: false,
+        semantic: false,
+        format: Format::Text,
         verbose: false,
         list_rules: false,
         root: None,
@@ -34,7 +44,17 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--workspace" => args.workspace = true,
-            "--json" => args.json = true,
+            "--semantic" => args.semantic = true,
+            "--json" => args.format = Format::Json,
+            "--format" => {
+                let v = iter.next().ok_or("--format needs a value (text|json|github)")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => return Err(format!("unknown format `{other}` (text|json|github)")),
+                };
+            }
             "--verbose" | "-v" => args.verbose = true,
             "--list-rules" => args.list_rules = true,
             "--root" => {
@@ -52,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
     if !args.workspace && args.files.is_empty() && !args.list_rules {
         return Err("nothing to lint: pass --workspace or file paths (see --help)".into());
     }
+    if args.semantic && !args.workspace {
+        return Err("--semantic needs --workspace (the analyses span the whole tree)".into());
+    }
     Ok(args)
 }
 
@@ -59,13 +82,18 @@ const HELP: &str = "\
 dses-lint — enforce determinism, no-alloc, and panic-hygiene invariants
 
 USAGE:
-    dses-lint --workspace [--json] [--verbose] [--root <dir>]
+    dses-lint --workspace [--semantic] [--format text|json|github] [--verbose] [--root <dir>]
     dses-lint [--json] <file>...
     dses-lint --list-rules
 
 FLAGS:
     --workspace    lint every crate in the workspace
-    --json         machine-readable report on stdout
+    --semantic     also build the item graph and run the workspace-wide
+                   analyses (no-alloc-transitive, determinism-transitive,
+                   layering, state-needs, waiver reachability)
+    --format <f>   output format: text (default), json, or github
+                   (::error/::warning workflow annotations)
+    --json         shorthand for --format json
     --verbose      also print honoured waivers
     --root <dir>   workspace root (default: walk up from the cwd)
     --list-rules   print the rule catalogue and exit
@@ -80,7 +108,12 @@ fn run() -> Result<bool, String> {
     if args.list_rules {
         println!("rules enforced by dses-lint (waive inline with `// dses-lint: allow(<rule>) -- <reason>`):");
         for r in dses_lint::rules::RULE_IDS {
-            println!("  {r}");
+            let tier = if dses_lint::rules::SEMANTIC_RULES.contains(r) {
+                " (semantic tier: --workspace --semantic)"
+            } else {
+                ""
+            };
+            println!("  {r}{tier}");
         }
         println!("  unused-waiver (warning only)");
         println!("opt functions into allocation checking with `// dses-lint: deny(alloc)`");
@@ -94,7 +127,7 @@ fn run() -> Result<bool, String> {
     };
     let cfg = dses_lint::driver::load_config(&root)?;
     let report = if args.workspace {
-        dses_lint::driver::lint_workspace(&root, &cfg)?
+        dses_lint::driver::lint_workspace(&root, &cfg, args.semantic)?
     } else {
         let files: Vec<PathBuf> = args
             .files
@@ -103,10 +136,10 @@ fn run() -> Result<bool, String> {
             .collect();
         dses_lint::driver::lint_files(&root, &files, &cfg)?
     };
-    if args.json {
-        print!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_text(args.verbose));
+    match args.format {
+        Format::Json => print!("{}", report.render_json()),
+        Format::Github => print!("{}", report.render_github()),
+        Format::Text => print!("{}", report.render_text(args.verbose)),
     }
     Ok(report.clean())
 }

@@ -92,6 +92,44 @@ impl Report {
         out
     }
 
+    /// GitHub Actions workflow annotations: one
+    /// `::error file=…,line=…::message` per unwaived finding (warnings
+    /// use `::warning`), followed by the text summary line as a
+    /// `::notice`. Message data is escaped per the workflow-command
+    /// rules: `%` → `%25`, `\r` → `%0D`, `\n` → `%0A`.
+    #[must_use]
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.waived {
+                continue;
+            }
+            let cmd = match f.severity {
+                Severity::Deny => "error",
+                Severity::Warn => "warning",
+            };
+            let _ = writeln!(
+                out,
+                "::{cmd} file={},line={},title=dses-lint {}::{}",
+                f.file,
+                f.line,
+                f.rule,
+                gh_escape(&f.message)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "::notice::dses-lint: {} file(s), {} error(s), {} warning(s)",
+            self.files_scanned,
+            self.unwaived().count(),
+            self.findings
+                .iter()
+                .filter(|f| !f.waived && f.severity == Severity::Warn)
+                .count()
+        );
+        out
+    }
+
     /// Machine-readable rendering: a single JSON object. Hand-rolled —
     /// the only escaping needed is for path/message strings.
     #[must_use]
@@ -122,6 +160,11 @@ impl Report {
         );
         out
     }
+}
+
+/// Escape message data for a GitHub workflow command.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
 }
 
 /// JSON string literal with the mandatory escapes.
@@ -193,6 +236,26 @@ mod tests {
         r.findings.push(finding("determinism", 3, true));
         assert!(!r.render_text(false).contains("waived["));
         assert!(r.render_text(true).contains("waived[determinism]"));
+    }
+
+    #[test]
+    fn github_annotations_escape_and_skip_waived() {
+        let mut r = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
+        r.findings.push(Finding {
+            message: "path a → b\nwith 100% detail".into(),
+            ..finding("no-alloc-transitive", 7, false)
+        });
+        r.findings.push(finding("determinism", 3, true));
+        let gh = r.render_github();
+        assert!(gh.contains(
+            "::error file=crates/x/src/lib.rs,line=7,title=dses-lint no-alloc-transitive::"
+        ));
+        assert!(gh.contains("path a → b%0Awith 100%25 detail"));
+        assert!(!gh.contains("line=3"), "waived findings are not annotated");
+        assert!(gh.contains("::notice::dses-lint: 1 file(s), 1 error(s)"));
     }
 
     #[test]

@@ -1,0 +1,679 @@
+//! The semantic tier: workspace-wide analyses over the item graph.
+//!
+//! Where the per-file engine ([`crate::rules`]) sees one token stream at
+//! a time, this pass builds the full [`crate::graph::Graph`] and checks
+//! properties no single file can witness:
+//!
+//! * **`no-alloc-transitive`** — a `deny(alloc)` function must not
+//!   *reach* an allocating construct through any chain of workspace
+//!   calls. Flagged at the root's outgoing call edge, with the offending
+//!   path spelled out (`kernel → helper_a → helper_b: Vec::push`).
+//! * **`determinism-transitive`** — code in determinism-scoped crates
+//!   must not call into out-of-scope crates whose functions reach a
+//!   nondeterminism source. Flagged at the boundary-crossing edge.
+//! * **`layering`** — the crate DAG declared in `lint.toml`'s
+//!   `[layering]` section is checked against each crate's Cargo
+//!   `[dependencies]` *and* against `dses_x::…` path evidence in
+//!   non-test code. `[dev-dependencies]` are exempt: tests may reach
+//!   upward.
+//! * **`state-needs`** — every `impl Dispatcher` must declare in
+//!   `state_needs()` exactly the `HostView` accessors its methods (and
+//!   their workspace-local callees) actually read. Under-declaration is
+//!   an error (the specialized kernels would hand the policy stale
+//!   state); over-declaration is a warning (the kernel does bookkeeping
+//!   the policy never looks at).
+//! * **waiver reachability** — a `panic-hygiene` waiver inside a
+//!   function no bin/test root can reach is waiving dead code; demoted
+//!   to an `unused-waiver` warning.
+//!
+//! All analyses inherit the call graph's conservative over-
+//! approximation: a spurious finding is reviewable (and waivable with
+//! `allow(<rule>)` at the flagged line); a silently missing one is not.
+
+use crate::config::Config;
+use crate::driver::SourceFile;
+use crate::graph::{FnId, Graph};
+use crate::report::{Finding, Severity};
+use crate::rules::FileKind;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Reflexive-transitive closure of the declared layering DAG: which
+/// crates each crate may link against (itself included). Scopes the
+/// graph's receiver-unknown method resolution.
+fn layering_closure(cfg: &Config) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out = BTreeMap::new();
+    for c in cfg.layering.keys() {
+        let mut closure: BTreeSet<String> = BTreeSet::new();
+        let mut stack = vec![c.clone()];
+        while let Some(x) = stack.pop() {
+            if closure.insert(x.clone()) {
+                if let Some(deps) = cfg.layering.get(&x) {
+                    stack.extend(deps.iter().cloned());
+                }
+            }
+        }
+        out.insert(c.clone(), closure);
+    }
+    out
+}
+
+/// Run every semantic analysis over the collected workspace.
+#[must_use]
+pub fn check_workspace(root: &Path, files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
+    let g = Graph::build_scoped(files, layering_closure(cfg));
+    let mut out = Vec::new();
+    no_alloc_transitive(&g, &mut out);
+    determinism_transitive(&g, cfg, &mut out);
+    layering(root, &g, cfg, &mut out);
+    state_needs(&g, &mut out);
+    waiver_reachability(&g, &mut out);
+    out
+}
+
+/// Is `rule` waived at `line` of file `file_idx`? Marks the directive
+/// used so `--verbose` renders honoured waivers.
+fn waived(g: &Graph<'_>, file_idx: usize, rule: &str, line: u32) -> bool {
+    let mut hit = false;
+    for d in &g.files[file_idx].items.directives {
+        if d.waives(rule, line) {
+            d.used.set(true);
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// The line of the root's own outgoing edge on the BFS path to `n` —
+/// the place in the root's file where the offending chain begins.
+fn root_edge_line(
+    parents: &BTreeMap<FnId, Option<(FnId, u32)>>,
+    n: FnId,
+    root: FnId,
+) -> Option<u32> {
+    let mut cur = n;
+    let mut guard = 0usize;
+    while let Some(Some((p, l))) = parents.get(&cur) {
+        if *p == root {
+            return Some(*l);
+        }
+        cur = *p;
+        guard += 1;
+        if guard > parents.len() {
+            break;
+        }
+    }
+    None
+}
+
+/// `no-alloc-transitive`: each `deny(alloc)` function is a BFS root;
+/// any reachable helper that allocates is reported with the full path.
+fn no_alloc_transitive(g: &Graph<'_>, out: &mut Vec<Finding>) {
+    let roots: Vec<FnId> = g.ids().filter(|&id| g.item(id).deny_alloc).collect();
+    for &root in &roots {
+        // other deny(alloc) fns are verified from their own root — do
+        // not traverse through them
+        let parents = g.bfs(&[root], |id| !g.item(id).deny_alloc);
+        let root_file = g.fns_file(root);
+        for &n in parents.keys() {
+            if n == root || g.item(n).deny_alloc {
+                continue;
+            }
+            let Some(fact) = g.item(n).allocs.iter().find(|f| !f.waived) else {
+                continue;
+            };
+            let Some(edge_line) = root_edge_line(&parents, n, root) else {
+                continue;
+            };
+            let helper_file = g.fns_file(n);
+            let path = g.path_to(&parents, n).join(" → ");
+            let is_waived = waived(g, root_file, "no-alloc-transitive", edge_line)
+                || waived(g, helper_file, "no-alloc-transitive", fact.line);
+            out.push(Finding {
+                file: g.files[root_file].file.rel.clone(),
+                line: edge_line,
+                rule: "no-alloc-transitive",
+                message: format!(
+                    "deny(alloc) fn reaches an allocating helper: {path}: `{}` ({}:{})",
+                    fact.what,
+                    g.files[helper_file].file.rel,
+                    fact.line
+                ),
+                waived: is_waived,
+                severity: Severity::Deny,
+            });
+        }
+    }
+}
+
+/// `determinism-transitive`: reverse reachability from nondeterminism
+/// sources in out-of-scope crates; flag scoped code at the edge that
+/// crosses the scope boundary into the tainted region.
+fn determinism_transitive(g: &Graph<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    let scoped = |id: FnId| cfg.rule_applies("determinism", &g.files[g.fns_file(id)].file.crate_id);
+    // seeds: library fns in *out-of-scope* crates with an unwaived
+    // nondeterminism fact (in-scope facts are already per-file errors)
+    let seeds: Vec<FnId> = g
+        .ids()
+        .filter(|&id| {
+            let pf = &g.files[g.fns_file(id)];
+            pf.file.kind == FileKind::Lib
+                && !g.item(id).in_test
+                && !scoped(id)
+                && g.item(id).nondet.iter().any(|f| !f.waived)
+        })
+        .collect();
+    if seeds.is_empty() {
+        return;
+    }
+    // reverse adjacency: callee → (caller, call line)
+    let mut rev: Vec<Vec<(FnId, u32)>> = vec![Vec::new(); g.fns.len()];
+    for caller in g.ids() {
+        for &(callee, line) in &g.edges[caller] {
+            rev[callee].push((caller, line));
+        }
+    }
+    // reverse BFS: witness[f] = (tainted callee, call line in f)
+    let mut witness: BTreeMap<FnId, Option<(FnId, u32)>> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+    for &s in &seeds {
+        if witness.insert(s, None).is_none() {
+            queue.push_back(s);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for &(caller, line) in &rev[id] {
+            if let std::collections::btree_map::Entry::Vacant(e) = witness.entry(caller) {
+                e.insert(Some((id, line)));
+                queue.push_back(caller);
+            }
+        }
+    }
+    // findings: scoped library fn whose witness edge lands on an
+    // out-of-scope tainted fn — the boundary crossing
+    for (&f, w) in &witness {
+        let Some((callee, line)) = w else { continue };
+        let pf = &g.files[g.fns_file(f)];
+        if pf.file.kind != FileKind::Lib || g.item(f).in_test || !scoped(f) || scoped(*callee) {
+            continue;
+        }
+        // spell out the chain from the callee down to a seed
+        let mut chain = vec![g.label(f), g.label(*callee)];
+        let mut cur = *callee;
+        let mut guard = 0usize;
+        while let Some(Some((next, _))) = witness.get(&cur) {
+            chain.push(g.label(*next));
+            cur = *next;
+            guard += 1;
+            if guard > witness.len() {
+                break;
+            }
+        }
+        let seed = cur;
+        let Some(fact) = g.item(seed).nondet.iter().find(|x| !x.waived) else {
+            continue;
+        };
+        let seed_file = g.fns_file(seed);
+        let is_waived = waived(g, g.fns_file(f), "determinism-transitive", *line)
+            || waived(g, seed_file, "determinism-transitive", fact.line);
+        out.push(Finding {
+            file: pf.file.rel.clone(),
+            line: *line,
+            rule: "determinism-transitive",
+            message: format!(
+                "determinism-scoped code reaches a nondeterminism source: {}: `{}` ({}:{})",
+                chain.join(" → "),
+                fact.what,
+                g.files[seed_file].file.rel,
+                fact.line
+            ),
+            waived: is_waived,
+            severity: Severity::Deny,
+        });
+    }
+}
+
+/// Parse `dses-*` dependency names (with 1-based lines) out of a
+/// `Cargo.toml`, from `[dependencies]` / `[dependencies.dses-x]`
+/// sections only — `[dev-dependencies]` and `[build-dependencies]` are
+/// layering-exempt.
+#[must_use]
+pub fn cargo_dses_deps(text: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = u32::try_from(i + 1).unwrap_or(u32::MAX);
+        let line = raw.trim();
+        if let Some(sect) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let sect = sect.trim();
+            if let Some(dep) = sect
+                .strip_prefix("dependencies.")
+                .and_then(|d| d.strip_prefix("dses-"))
+            {
+                out.push((dep.to_string(), lineno));
+            }
+            in_deps = sect == "dependencies";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().trim_matches('"');
+            if let Some(dep) = key.strip_prefix("dses-") {
+                out.push((dep.to_string(), lineno));
+            }
+        }
+    }
+    out
+}
+
+/// `layering`: the declared DAG must cover every crate, be acyclic, and
+/// agree with both Cargo dependencies and `dses_x::…` path evidence.
+fn layering(root: &Path, g: &Graph<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.layering.is_empty() {
+        return;
+    }
+    // workspace crates: directories under crates/ with a Cargo.toml,
+    // plus the synthetic `integration` crate for workspace-root tests/
+    let mut workspace: BTreeSet<String> = BTreeSet::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.filter_map(Result::ok) {
+            if e.path().join("Cargo.toml").is_file() {
+                workspace.insert(e.file_name().to_string_lossy().into_owned());
+            }
+        }
+    }
+    workspace.insert("integration".to_string());
+
+    for c in &workspace {
+        if !cfg.layering.contains_key(c) {
+            out.push(Finding {
+                file: "lint.toml".to_string(),
+                line: 1,
+                rule: "layering",
+                message: format!("crate `{c}` is missing from the [layering] section"),
+                waived: false,
+                severity: Severity::Deny,
+            });
+        }
+    }
+    for c in cfg.layering.keys() {
+        if !workspace.contains(c) {
+            out.push(Finding {
+                file: "lint.toml".to_string(),
+                line: 1,
+                rule: "layering",
+                message: format!("[layering] declares unknown crate `{c}`"),
+                waived: false,
+                severity: Severity::Warn,
+            });
+        }
+    }
+    // acyclicity (Kahn): whatever survives elimination is cyclic
+    let mut remaining: BTreeMap<&str, BTreeSet<&str>> = cfg
+        .layering
+        .iter()
+        .map(|(k, v)| {
+            let deps: BTreeSet<&str> = v
+                .iter()
+                .map(String::as_str)
+                .filter(|d| cfg.layering.contains_key(*d))
+                .collect();
+            (k.as_str(), deps)
+        })
+        .collect();
+    loop {
+        let free: Vec<&str> = remaining
+            .iter()
+            .filter(|(_, deps)| deps.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        if free.is_empty() {
+            break;
+        }
+        for k in &free {
+            remaining.remove(k);
+        }
+        for deps in remaining.values_mut() {
+            for k in &free {
+                deps.remove(k);
+            }
+        }
+    }
+    if !remaining.is_empty() {
+        let cyclic: Vec<&str> = remaining.keys().copied().collect();
+        out.push(Finding {
+            file: "lint.toml".to_string(),
+            line: 1,
+            rule: "layering",
+            message: format!("[layering] contains a cycle among: {}", cyclic.join(", ")),
+            waived: false,
+            severity: Severity::Deny,
+        });
+        return; // a cyclic declaration cannot meaningfully gate evidence
+    }
+
+    let allowed = |c: &str, dep: &str| {
+        cfg.layering
+            .get(c)
+            .is_some_and(|deps| deps.iter().any(|d| d == dep))
+    };
+
+    // Cargo [dependencies] evidence
+    for c in &workspace {
+        if !cfg.layering.contains_key(c) {
+            continue; // already reported above
+        }
+        let manifest = root.join("crates").join(c).join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue; // `integration` has no manifest
+        };
+        for (dep, line) in cargo_dses_deps(&text) {
+            if dep == *c || !workspace.contains(&dep) {
+                continue;
+            }
+            if !allowed(c, &dep) {
+                out.push(Finding {
+                    file: format!("crates/{c}/Cargo.toml"),
+                    line,
+                    rule: "layering",
+                    message: format!(
+                        "crate `{c}` may not depend on `{dep}` (layering allows: [{}])",
+                        cfg.layering.get(c).map(|d| d.join(", ")).unwrap_or_default()
+                    ),
+                    waived: false,
+                    severity: Severity::Deny,
+                });
+            }
+        }
+    }
+
+    // `dses_x::…` path evidence in non-test code
+    let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+    for (fi, pf) in g.files.iter().enumerate() {
+        if pf.file.kind == FileKind::Test {
+            continue;
+        }
+        let c = &pf.file.crate_id;
+        for r in &pf.items.crate_refs {
+            if r.in_test || r.krate == *c || !workspace.contains(&r.krate) {
+                continue;
+            }
+            if allowed(c, &r.krate) || !seen.insert((fi, r.krate.clone())) {
+                continue;
+            }
+            let is_waived = waived(g, fi, "layering", r.line);
+            out.push(Finding {
+                file: pf.file.rel.clone(),
+                line: r.line,
+                rule: "layering",
+                message: format!(
+                    "crate `{c}` references `dses_{}` but the layering DAG does not allow it \
+                     (allows: [{}])",
+                    r.krate,
+                    cfg.layering.get(c).map(|d| d.join(", ")).unwrap_or_default()
+                ),
+                waived: is_waived,
+                severity: Severity::Deny,
+            });
+        }
+    }
+}
+
+/// StateNeeds bit encoding, mirroring `dses_sim::state::StateNeeds`.
+const WORK_LEFT: u8 = 1;
+const QUEUE_LEN: u8 = 2;
+
+fn needs_name(bits: u8) -> &'static str {
+    match bits & 3 {
+        0 => "NOTHING",
+        WORK_LEFT => "WORK_LEFT",
+        QUEUE_LEN => "QUEUE_LEN",
+        _ => "ALL",
+    }
+}
+
+fn declared_bits(consts: &[String]) -> Option<u8> {
+    if consts.is_empty() {
+        return None; // computed/forwarded declaration — indeterminate
+    }
+    let mut bits = 0u8;
+    for c in consts {
+        bits |= match c.as_str() {
+            "NOTHING" => 0,
+            "WORK_LEFT" => WORK_LEFT,
+            "QUEUE_LEN" => QUEUE_LEN,
+            "ALL" => WORK_LEFT | QUEUE_LEN,
+            _ => return None,
+        };
+    }
+    Some(bits)
+}
+
+/// `state-needs`: cross-check each `impl Dispatcher`'s declared
+/// `state_needs()` against the `HostView` accessors its methods (and
+/// workspace-local callees) actually read.
+fn state_needs(g: &Graph<'_>, out: &mut Vec<Finding>) {
+    // group Dispatcher-impl methods by (file, impl block)
+    let mut impls: BTreeMap<(usize, usize), Vec<FnId>> = BTreeMap::new();
+    for id in g.ids() {
+        let fi = g.fns_file(id);
+        let f = g.item(id);
+        if g.files[fi].file.kind != FileKind::Lib || f.in_test {
+            continue;
+        }
+        if f.impl_trait.as_deref() == Some("Dispatcher") && f.impl_ty.is_some() {
+            if let Some(impl_id) = f.impl_id {
+                impls.entry((fi, impl_id)).or_default().push(id);
+            }
+        }
+    }
+    for ((fi, _), members) in &impls {
+        let ty = g
+            .item(members[0])
+            .impl_ty
+            .clone()
+            .unwrap_or_else(|| "?".to_string());
+        let declarer = members
+            .iter()
+            .copied()
+            .find(|&id| g.item(id).name == "state_needs");
+        let declared = match declarer {
+            Some(id) => match declared_bits(&g.item(id).state_consts) {
+                Some(bits) => bits,
+                None => continue, // cannot read the declaration — skip
+            },
+            None => WORK_LEFT | QUEUE_LEN, // trait default: ALL
+        };
+        // usage: everything the impl's methods transitively read
+        let parents = g.bfs(members, |_| true);
+        let mut usage = 0u8;
+        let mut evidence: BTreeMap<u8, (FnId, u32)> = BTreeMap::new();
+        for &v in parents.keys() {
+            let item = g.item(v);
+            if let Some(line) = item.reads_work_left {
+                usage |= WORK_LEFT;
+                evidence.entry(WORK_LEFT).or_insert((v, line));
+            }
+            if let Some(line) = item.reads_queue_len {
+                usage |= QUEUE_LEN;
+                evidence.entry(QUEUE_LEN).or_insert((v, line));
+            }
+        }
+        let anchor = declarer
+            .map(|id| g.item(id).line)
+            .unwrap_or_else(|| g.item(members[0]).line);
+        let missing = usage & !declared;
+        if missing != 0 {
+            let (bit, &(witness, line)) = evidence
+                .iter()
+                .find(|(b, _)| *b & missing != 0)
+                .map(|(b, e)| (*b, e))
+                .unwrap_or((missing, &(members[0], anchor)));
+            let accessor = if bit == WORK_LEFT { "work_left" } else { "queue_len" };
+            let path = g.path_to(&parents, witness).join(" → ");
+            let is_waived = waived(g, *fi, "state-needs", anchor);
+            out.push(Finding {
+                file: g.files[*fi].file.rel.clone(),
+                line: anchor,
+                rule: "state-needs",
+                message: format!(
+                    "impl Dispatcher for {ty} declares StateNeeds::{} but reads `.{accessor}` \
+                     via {path} ({}:{line})",
+                    needs_name(declared),
+                    g.files[g.fns_file(witness)].file.rel,
+                ),
+                waived: is_waived,
+                severity: Severity::Deny,
+            });
+        }
+        let extra = declared & !usage;
+        if extra != 0 {
+            let is_waived = waived(g, *fi, "state-needs", anchor);
+            let message = if declarer.is_some() {
+                format!(
+                    "impl Dispatcher for {ty} declares StateNeeds::{} but only reads {}; \
+                     the kernel will maintain state the policy never consults",
+                    needs_name(declared),
+                    if usage == 0 {
+                        "no HostView accessors".to_string()
+                    } else {
+                        format!("StateNeeds::{}", needs_name(usage))
+                    },
+                )
+            } else {
+                format!(
+                    "impl Dispatcher for {ty} relies on the default state_needs() (= ALL) \
+                     but only reads {}; declare the narrower need",
+                    if usage == 0 {
+                        "no HostView accessors".to_string()
+                    } else {
+                        format!("StateNeeds::{}", needs_name(usage))
+                    },
+                )
+            };
+            out.push(Finding {
+                file: g.files[*fi].file.rel.clone(),
+                line: anchor,
+                rule: "state-needs",
+                message,
+                waived: is_waived,
+                severity: Severity::Warn,
+            });
+        }
+    }
+}
+
+/// Waiver reachability: a `panic-hygiene` waiver inside a function that
+/// no bin/test entry point (or std-trait impl, or by-value reference)
+/// can reach is waiving dead code.
+fn waiver_reachability(g: &Graph<'_>, out: &mut Vec<Finding>) {
+    // union of every file's bare-identifier mentions: address-taken fns
+    let mut mentioned: BTreeSet<&str> = BTreeSet::new();
+    for pf in &g.files {
+        mentioned.extend(pf.items.mentions.iter().map(String::as_str));
+    }
+    let roots: Vec<FnId> = g
+        .ids()
+        .filter(|&id| {
+            let pf = &g.files[g.fns_file(id)];
+            let f = g.item(id);
+            // bins and tests are entry points
+            if pf.file.kind != FileKind::Lib || f.in_test {
+                return true;
+            }
+            // impls of non-workspace traits (Display, Ord, Drop, …) are
+            // invoked implicitly by std machinery
+            if f.impl_trait
+                .as_deref()
+                .is_some_and(|t| !g.traits.contains(t))
+            {
+                return true;
+            }
+            // address-taken functions escape the call graph
+            mentioned.contains(f.name.as_str())
+        })
+        .collect();
+    let visited = g.bfs(&roots, |_| true);
+    for (fi, pf) in g.files.iter().enumerate() {
+        if pf.file.kind != FileKind::Lib {
+            continue;
+        }
+        for d in &pf.items.directives {
+            let crate::items::DirectiveKind::Allow { rules, file_scope } = &d.kind else {
+                continue;
+            };
+            if *file_scope || !rules.iter().any(|r| r == "panic-hygiene") {
+                continue;
+            }
+            // innermost function containing the covered line
+            let holder = g
+                .ids()
+                .filter(|&id| g.fns_file(id) == fi)
+                .filter(|&id| {
+                    let f = g.item(id);
+                    f.line <= d.covers && d.covers <= f.end_line
+                })
+                .max_by_key(|&id| g.item(id).line);
+            let Some(holder) = holder else { continue };
+            if g.item(holder).in_test || visited.contains_key(&holder) {
+                continue;
+            }
+            out.push(Finding {
+                file: pf.file.rel.clone(),
+                line: d.line,
+                rule: "unused-waiver",
+                message: format!(
+                    "panic-hygiene waiver in `{}`, which is unreachable from every \
+                     bin/test entry point",
+                    g.label(holder)
+                ),
+                waived: false,
+                severity: Severity::Warn,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cargo_deps_parser_sections_and_inline() {
+        let text = "\
+[package]
+name = \"dses-core\"
+
+[dependencies]
+dses-sim = { path = \"../sim\" }
+dses-dist = { path = \"../dist\" }
+serde = \"1\"
+
+[dependencies.dses-workload]
+path = \"../workload\"
+
+[dev-dependencies]
+dses-bench = { path = \"../bench\" }
+";
+        let deps = cargo_dses_deps(text);
+        let names: Vec<&str> = deps.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["sim", "dist", "workload"]);
+        assert_eq!(deps[0].1, 5);
+    }
+
+    #[test]
+    fn needs_bits_roundtrip() {
+        assert_eq!(declared_bits(&["NOTHING".into()]), Some(0));
+        assert_eq!(declared_bits(&["WORK_LEFT".into()]), Some(WORK_LEFT));
+        assert_eq!(
+            declared_bits(&["WORK_LEFT".into(), "QUEUE_LEN".into()]),
+            Some(3)
+        );
+        assert_eq!(declared_bits(&["ALL".into()]), Some(3));
+        assert_eq!(declared_bits(&[]), None);
+        assert_eq!(needs_name(0), "NOTHING");
+        assert_eq!(needs_name(3), "ALL");
+    }
+}

@@ -1,0 +1,10 @@
+//! Bottom crate reaching upward — a layering violation both in the
+//! manifest and in path evidence.
+#![forbid(unsafe_code)]
+
+use dses_sim::StateNeeds;
+
+/// Forwards a constant from the crate above — the upward reference.
+pub fn needs_nothing() -> u8 {
+    StateNeeds::NOTHING
+}

@@ -1,0 +1,14 @@
+//! Out-of-determinism-scope helper crate holding a nondeterminism
+//! source two calls below its public surface.
+#![forbid(unsafe_code)]
+
+/// Keyed lookup through an iteration-order-dependent table.
+pub fn lookup(n: u64) -> u64 {
+    table(n)
+}
+
+fn table(n: u64) -> u64 {
+    let mut m = std::collections::HashMap::new();
+    m.insert(n, n);
+    m.len() as u64
+}

@@ -1,0 +1,8 @@
+//! Bottom utility crate: deterministic and allocation-free.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Deterministic, allocation-free scaling.
+pub fn scale(n: usize) -> usize {
+    n.saturating_mul(3)
+}

@@ -53,6 +53,7 @@ impl Host {
     fn new(speed: f64, backlog: usize) -> Self {
         Self {
             serving: None,
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: hosts are built on a workspace's first run of a shape, then reused
             queue: VecDeque::with_capacity(backlog),
             free_at: 0.0,
             speed,
@@ -281,6 +282,7 @@ impl EventEngine {
                     assert!(
                         target < self.num_hosts(),
                         "policy {} returned host {target} of {}",
+                        // dses-lint: allow(no-alloc-transitive) -- name() formats only on the assert failure path
                         policy.name(),
                         self.num_hosts()
                     );

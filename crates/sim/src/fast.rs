@@ -276,6 +276,7 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
             assert!(
                 target < hosts,
                 "policy {} returned host {target} of {hosts}",
+                // dses-lint: allow(no-alloc-transitive) -- name() formats only on the assert failure path
                 policy.name()
             );
             let start = now.max(free_at[target]);

@@ -344,6 +344,7 @@ impl Collector {
                     v.clear();
                     v.reserve(expected_jobs);
                 }
+                // dses-lint: allow(no-alloc-transitive) -- grow-once: records are built when first enabled, then cleared and reused
                 other => *other = Some(Vec::with_capacity(expected_jobs)),
             }
         } else {

@@ -95,6 +95,7 @@ impl SimWorkspace {
         }
         self.fifos.truncate(hosts);
         while self.fifos.len() < hosts {
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: fifos grow on a workspace's first run of a shape, then reused
             self.fifos.push(VecDeque::with_capacity(backlog));
         }
         self.expiry.clear();
