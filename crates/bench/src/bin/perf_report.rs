@@ -40,7 +40,8 @@ use dses_queueing::cutoff::{
 use dses_sim::metrics::JobRecord;
 use dses_sim::{
     available_workers, par_map_indexed, par_map_indexed_scoped, simulate_dispatch,
-    simulate_dispatch_into, MetricsConfig, SimResult, SimWorkspace, SystemState,
+    simulate_dispatch_fused_into, simulate_dispatch_into, MetricsConfig, SimResult, SimWorkspace,
+    StateNeeds, SystemState,
 };
 use dses_workload::{Job, Trace};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -124,6 +125,29 @@ impl Dispatcher for ForceFull {
     }
     fn reset(&mut self) {
         self.0.reset();
+    }
+}
+
+/// Wraps a policy so it keeps its declared [`StateNeeds`] but reports no
+/// dispatch kernel (`DispatchKernel::Opaque`, the trait default). The
+/// engine then runs the pre-vectorization specialized loop — one virtual
+/// `dispatch` call per job — which is the "scalar" side of the SIMD
+/// kernel comparison (where [`ForceFull`] is the pre-*specialization*
+/// engine).
+struct ForceOpaque(Box<dyn Dispatcher>);
+
+impl Dispatcher for ForceOpaque {
+    fn dispatch(&mut self, job: &Job, state: &SystemState<'_>, rng: &mut Rng64) -> usize {
+        self.0.dispatch(job, state, rng)
+    }
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+    fn state_needs(&self) -> StateNeeds {
+        self.0.state_needs()
     }
 }
 
@@ -459,6 +483,278 @@ fn workspace_bench(smoke: bool) -> WorkspaceBench {
     bench
 }
 
+/// Replication lanes per fused pass in the SIMD section (matches the
+/// `Experiment::replicate` fuse width).
+const SIMD_LANES: usize = 8;
+
+struct SimdRow {
+    policy: &'static str,
+    hosts: usize,
+    scalar_jps: f64,
+    vectorized_jps: f64,
+    fused_jps: f64,
+    identical: bool,
+    vectorized_allocs: usize,
+    fused_allocs: usize,
+}
+
+/// Section 6: the vectorizable static/work-left kernels and the fused
+/// replication pass, against the scalar (opaque-kernel) specialized loop
+/// — per policy, across host counts, with record-level identity and the
+/// zero-allocation gate on both new paths. The h = 1024 column doubles
+/// as the workspace-sizing audit: a warmed workspace must not touch the
+/// allocator even with kilobyte-scale host banks and lane banks.
+fn simd_bench(smoke: bool) -> Vec<SimdRow> {
+    let preset = dses_workload::psc_c90();
+    let jobs = if smoke { 4_000 } else { 400_000 };
+    let id_jobs = if smoke { 4_000 } else { 50_000 };
+    let reps = if smoke { 1 } else { 5 };
+    let count_runs = if smoke { 2 } else { 5 };
+    println!(
+        "simd kernels: scalar (opaque) vs vectorized vs fused x{SIMD_LANES}, {jobs} jobs, C90 at rho=0.7"
+    );
+
+    let mut rows = Vec::new();
+    for &hosts in &[8usize, 64, 1024] {
+        let trace = preset.trace(jobs, 0.7, hosts, 1997);
+        let id_trace = preset.trace(id_jobs, 0.7, hosts, 1998);
+        let cutoffs = sita_e_cutoffs(&preset.size_dist, hosts).expect("SITA-E cutoffs");
+        type Builder<'a> = Box<dyn Fn() -> Box<dyn Dispatcher> + 'a>;
+        let builders: Vec<(&'static str, Builder<'_>)> = vec![
+            ("Random", Box::new(|| Box::new(RandomPolicy))),
+            ("Round-Robin", Box::new(|| Box::new(RoundRobin::default()))),
+            (
+                "SITA-E",
+                Box::new(|| Box::new(SizeInterval::new(cutoffs.clone(), "SITA-E"))),
+            ),
+            ("Least-Work-Left", Box::new(|| Box::new(LeastWorkLeft))),
+        ];
+        for (name, build) in &builders {
+            // --- timings ---
+            let mut vect = build();
+            let vect_secs = best_of(reps, || {
+                simulate_dispatch(&trace, hosts, vect.as_mut(), 7, MetricsConfig::streaming())
+            });
+            let mut scal = ForceOpaque(build());
+            let scal_secs = best_of(reps, || {
+                simulate_dispatch(&trace, hosts, &mut scal, 7, MetricsConfig::streaming())
+            });
+            let traces = vec![&trace; SIMD_LANES];
+            let seeds: Vec<u64> = (0..SIMD_LANES as u64).collect();
+            let cfgs = vec![MetricsConfig::streaming(); SIMD_LANES];
+            let mut policies: Vec<Box<dyn Dispatcher>> =
+                (0..SIMD_LANES).map(|_| build()).collect();
+            let mut fws = SimWorkspace::new();
+            let mut fouts: Vec<SimResult> = Vec::new();
+            simulate_dispatch_fused_into(
+                &traces, hosts, &mut policies, &seeds, &cfgs, &mut fws, &mut fouts,
+            );
+            let fused_secs = best_of(reps, || {
+                simulate_dispatch_fused_into(
+                    &traces, hosts, &mut policies, &seeds, &cfgs, &mut fws, &mut fouts,
+                );
+                fouts[0].measured
+            });
+
+            // --- record-level identity: vectorized vs scalar vs full ---
+            let a = simulate_dispatch(
+                &id_trace,
+                hosts,
+                build().as_mut(),
+                7,
+                MetricsConfig::full_records(),
+            );
+            let b = simulate_dispatch(
+                &id_trace,
+                hosts,
+                &mut ForceOpaque(build()),
+                7,
+                MetricsConfig::full_records(),
+            );
+            let c = simulate_dispatch(
+                &id_trace,
+                hosts,
+                &mut ForceFull(build()),
+                7,
+                MetricsConfig::full_records(),
+            );
+            let mut identical = records_bitwise_equal(
+                a.records.as_deref().unwrap(),
+                b.records.as_deref().unwrap(),
+            ) && records_bitwise_equal(
+                a.records.as_deref().unwrap(),
+                c.records.as_deref().unwrap(),
+            );
+
+            // --- fused identity: every lane equals its solo run ---
+            let id_traces = vec![&id_trace; SIMD_LANES];
+            let id_cfgs = vec![MetricsConfig::full_records(); SIMD_LANES];
+            let mut id_policies: Vec<Box<dyn Dispatcher>> =
+                (0..SIMD_LANES).map(|_| build()).collect();
+            let mut id_outs: Vec<SimResult> = Vec::new();
+            simulate_dispatch_fused_into(
+                &id_traces,
+                hosts,
+                &mut id_policies,
+                &seeds,
+                &id_cfgs,
+                &mut fws,
+                &mut id_outs,
+            );
+            for (r, fused_out) in id_outs.iter().enumerate() {
+                let solo = simulate_dispatch(
+                    &id_trace,
+                    hosts,
+                    build().as_mut(),
+                    seeds[r],
+                    MetricsConfig::full_records(),
+                );
+                identical = identical
+                    && records_bitwise_equal(
+                        fused_out.records.as_deref().unwrap(),
+                        solo.records.as_deref().unwrap(),
+                    );
+            }
+
+            // --- zero-allocation gates on warmed workspaces ---
+            let mut vws = SimWorkspace::new();
+            let mut vout = SimResult::empty();
+            simulate_dispatch_into(
+                &trace,
+                hosts,
+                vect.as_mut(),
+                7,
+                MetricsConfig::streaming(),
+                &mut vws,
+                &mut vout,
+            );
+            let (_, v_allocs) = alloc_count_of(|| {
+                for _ in 0..count_runs {
+                    simulate_dispatch_into(
+                        &trace,
+                        hosts,
+                        vect.as_mut(),
+                        7,
+                        MetricsConfig::streaming(),
+                        &mut vws,
+                        &mut vout,
+                    );
+                }
+            });
+            // fws last ran the full-records shape; re-warm to streaming
+            simulate_dispatch_fused_into(
+                &traces, hosts, &mut policies, &seeds, &cfgs, &mut fws, &mut fouts,
+            );
+            let (_, f_allocs) = alloc_count_of(|| {
+                for _ in 0..count_runs {
+                    simulate_dispatch_fused_into(
+                        &traces, hosts, &mut policies, &seeds, &cfgs, &mut fws, &mut fouts,
+                    );
+                }
+            });
+
+            let row = SimdRow {
+                policy: name,
+                hosts,
+                scalar_jps: jobs as f64 / scal_secs,
+                vectorized_jps: jobs as f64 / vect_secs,
+                fused_jps: (SIMD_LANES * jobs) as f64 / fused_secs,
+                identical,
+                vectorized_allocs: v_allocs / count_runs,
+                fused_allocs: f_allocs / count_runs,
+            };
+            println!(
+                "  h={:<5} {:<16} scalar {:>10}/s  vector {:>10}/s ({:.2}x)  fused x{} {:>10}/s ({:.2}x, identical: {}, allocs {}+{})",
+                row.hosts,
+                row.policy,
+                fmt_rate(row.scalar_jps),
+                fmt_rate(row.vectorized_jps),
+                row.vectorized_jps / row.scalar_jps,
+                SIMD_LANES,
+                fmt_rate(row.fused_jps),
+                row.fused_jps / row.scalar_jps,
+                row.identical,
+                row.vectorized_allocs,
+                row.fused_allocs,
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+struct ScalingCell {
+    hosts: usize,
+    threads: usize,
+    jps: f64,
+}
+
+/// The thread-scaling × host-count table: a batch of independent Random
+/// runs fanned over the worker pool at increasing worker counts, per
+/// host count. Prints a cargo-tally-style table and reports where
+/// scaling stops (the smallest worker count within 5 % of the best
+/// throughput) — on a single-core container that is honestly 1.
+fn thread_scaling_bench(smoke: bool) -> Vec<ScalingCell> {
+    let preset = dses_workload::psc_c90();
+    let jobs = if smoke { 2_000 } else { 50_000 };
+    let tasks = if smoke { 8 } else { 32 };
+    let reps = if smoke { 1 } else { 3 };
+    let cores = available_workers();
+    println!(
+        "thread scaling x hosts: {tasks} Random runs x {jobs} jobs ({cores} cores available)"
+    );
+    println!("  | hosts | threads | jobs/s     | vs 1 thread |");
+    println!("  |-------|---------|------------|-------------|");
+    let mut cells = Vec::new();
+    for &hosts in &[8usize, 64, 1024] {
+        let trace = Arc::new(preset.trace(jobs, 0.7, hosts, 1997));
+        let mut base_jps = 0.0f64;
+        for &threads in &[1usize, 2, 4, 8] {
+            let secs = best_of(reps, || {
+                let trace = Arc::clone(&trace);
+                par_map_indexed(tasks, threads, move |i| {
+                    simulate_dispatch(
+                        &trace,
+                        hosts,
+                        &mut RandomPolicy,
+                        i as u64,
+                        MetricsConfig::streaming(),
+                    )
+                })
+            });
+            let jps = (tasks * jobs) as f64 / secs;
+            if threads == 1 {
+                base_jps = jps;
+            }
+            println!(
+                "  | {:>5} | {:>7} | {:>10} | {:>10.2}x |",
+                hosts,
+                threads,
+                fmt_rate(jps),
+                jps / base_jps
+            );
+            cells.push(ScalingCell { hosts, threads, jps });
+        }
+    }
+    cells
+}
+
+/// Smallest worker count within 5 % of the best throughput for `hosts` —
+/// past this, adding threads buys nothing.
+fn scaling_stop(cells: &[ScalingCell], hosts: usize) -> usize {
+    let best = cells
+        .iter()
+        .filter(|c| c.hosts == hosts)
+        .map(|c| c.jps)
+        .fold(0.0f64, f64::max);
+    cells
+        .iter()
+        .filter(|c| c.hosts == hosts && c.jps >= 0.95 * best)
+        .map(|c| c.threads)
+        .min()
+        .unwrap_or(1)
+}
+
 /// [`BoundedPareto`] with its closed-form moments hidden: only
 /// `sample`/`support`/`cdf`/`quantile` are supplied, so every partial and
 /// raw moment falls back to the trait's quantile-space quadrature. This
@@ -485,6 +781,10 @@ impl Distribution for NumericOnly {
 
 struct CutoffDistBench {
     dist: &'static str,
+    /// Which side `resolve_cutoff` actually takes for this distribution:
+    /// "raw" when moments come in closed form (the memo would only add
+    /// hash-and-lock overhead), "memoized" for quadrature-fallback dists.
+    production: &'static str,
     opt_raw_solves_per_sec: f64,
     opt_cached_solves_per_sec: f64,
     fair_raw_solves_per_sec: f64,
@@ -521,6 +821,7 @@ fn cutoff_dist_bench<D: Distribution>(
             == sita_u_fair_cutoff(&TruncatedMoments::new(d), lambda).unwrap().to_bits();
     let bench = CutoffDistBench {
         dist: name,
+        production: if d.closed_form_moments() { "raw" } else { "memoized" },
         opt_raw_solves_per_sec: 1.0 / opt_raw,
         opt_cached_solves_per_sec: 1.0 / opt_cached,
         fair_raw_solves_per_sec: 1.0 / fair_raw,
@@ -528,11 +829,12 @@ fn cutoff_dist_bench<D: Distribution>(
         identical,
     };
     println!(
-        "  {:<24} opt:  raw {:>9.1} solves/s, cached {:>9.1} solves/s ({:.2}x)",
+        "  {:<24} opt:  raw {:>9.1} solves/s, cached {:>9.1} solves/s ({:.2}x, production: {})",
         name,
         bench.opt_raw_solves_per_sec,
         bench.opt_cached_solves_per_sec,
-        bench.opt_cached_solves_per_sec / bench.opt_raw_solves_per_sec
+        bench.opt_cached_solves_per_sec / bench.opt_raw_solves_per_sec,
+        bench.production
     );
     println!(
         "  {:<24} fair: raw {:>9.1} solves/s, cached {:>9.1} solves/s ({:.2}x, identical: {})",
@@ -573,6 +875,7 @@ fn cutoff_bench(smoke: bool) -> CutoffBench {
         println!("  numeric-bounded-pareto   fair identity only (smoke): {identical}");
         dists.push(CutoffDistBench {
             dist: "numeric-bounded-pareto",
+            production: "memoized",
             opt_raw_solves_per_sec: f64::NAN,
             opt_cached_solves_per_sec: f64::NAN,
             fair_raw_solves_per_sec: f64::NAN,
@@ -677,8 +980,14 @@ fn main() {
     let pool = pool_bench(smoke);
     let workspace = workspace_bench(smoke);
     let sq = sq_kernel_bench(smoke);
+    let simd = simd_bench(smoke);
+    let scaling = if smoke { Vec::new() } else { thread_scaling_bench(smoke) };
 
     let kernels_identical = kernels.iter().all(|r| r.identical) && sq.identical;
+    let simd_identical = simd.iter().all(|r| r.identical);
+    let simd_zero_alloc = simd
+        .iter()
+        .all(|r| r.vectorized_allocs == 0 && r.fused_allocs == 0);
     let zero_alloc = workspace.steady_allocs_per_run == 0;
     if !zero_alloc {
         eprintln!(
@@ -686,12 +995,22 @@ fn main() {
             workspace.steady_allocs_per_run
         );
     }
+    if !simd_zero_alloc {
+        for r in simd.iter().filter(|r| r.vectorized_allocs != 0 || r.fused_allocs != 0) {
+            eprintln!(
+                "ERROR: {} at h={} allocated in steady state (vectorized {}, fused {})",
+                r.policy, r.hosts, r.vectorized_allocs, r.fused_allocs
+            );
+        }
+    }
     let bit_identical = sweep_identical
         && kernels_identical
         && cutoffs.identical
         && pool.identical
         && workspace.identical
-        && zero_alloc;
+        && zero_alloc
+        && simd_identical
+        && simd_zero_alloc;
 
     if !smoke {
         let json = format!(
@@ -723,8 +1042,9 @@ fn main() {
             .iter()
             .map(|b| {
                 format!(
-                    "    {{\"dist\": \"{}\", \"opt_raw_solves_per_sec\": {:.2}, \"opt_cached_solves_per_sec\": {:.2}, \"opt_speedup\": {:.3}, \"fair_raw_solves_per_sec\": {:.2}, \"fair_cached_solves_per_sec\": {:.2}, \"fair_speedup\": {:.3}, \"bit_identical\": {}}}",
+                    "    {{\"dist\": \"{}\", \"production\": \"{}\", \"opt_raw_solves_per_sec\": {:.2}, \"opt_cached_solves_per_sec\": {:.2}, \"opt_speedup\": {:.3}, \"fair_raw_solves_per_sec\": {:.2}, \"fair_cached_solves_per_sec\": {:.2}, \"fair_speedup\": {:.3}, \"bit_identical\": {}}}",
                     b.dist,
+                    b.production,
                     b.opt_raw_solves_per_sec,
                     b.opt_cached_solves_per_sec,
                     b.opt_cached_solves_per_sec / b.opt_raw_solves_per_sec,
@@ -767,6 +1087,88 @@ fn main() {
         );
         std::fs::write("BENCH_pool.json", &json).expect("write BENCH_pool.json");
         println!("wrote BENCH_pool.json");
+
+        let simd_rows: Vec<String> = simd
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"policy\": \"{}\", \"hosts\": {}, \"scalar_jobs_per_sec\": {:.0}, \"vectorized_jobs_per_sec\": {:.0}, \"fused_jobs_per_sec\": {:.0}, \"vector_speedup\": {:.3}, \"fused_speedup\": {:.3}, \"bit_identical\": {}, \"vectorized_allocs_per_run\": {}, \"fused_allocs_per_run\": {}}}",
+                    r.policy,
+                    r.hosts,
+                    r.scalar_jps,
+                    r.vectorized_jps,
+                    r.fused_jps,
+                    r.vectorized_jps / r.scalar_jps,
+                    r.fused_jps / r.scalar_jps,
+                    r.identical,
+                    r.vectorized_allocs,
+                    r.fused_allocs,
+                )
+            })
+            .collect();
+        let scaling_rows: Vec<String> = scaling
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"hosts\": {}, \"threads\": {}, \"jobs_per_sec\": {:.0}}}",
+                    c.hosts, c.threads, c.jps
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"config\": {{\"workload\": \"c90\", \"rho\": 0.7, \"jobs\": 200000, \"seed\": 1997, \"lanes\": {SIMD_LANES}}},\n  \"rows\": [\n{}\n  ],\n  \"thread_scaling\": [\n{}\n  ],\n  \"scaling_stops_at_threads\": {{\"8\": {}, \"64\": {}, \"1024\": {}}},\n  \"bit_identical\": {simd_identical},\n  \"zero_alloc\": {simd_zero_alloc}\n}}\n",
+            simd_rows.join(",\n"),
+            scaling_rows.join(",\n"),
+            scaling_stop(&scaling, 8),
+            scaling_stop(&scaling, 64),
+            scaling_stop(&scaling, 1024),
+        );
+        std::fs::write("BENCH_simd.json", &json).expect("write BENCH_simd.json");
+        println!("wrote BENCH_simd.json");
+
+        // One trajectory summary over every section of this report.
+        let best_kernel = kernels
+            .iter()
+            .max_by(|a, b| {
+                (a.specialized_jps / a.full_jps).total_cmp(&(b.specialized_jps / b.full_jps))
+            })
+            .expect("kernel rows");
+        let h8_static = simd
+            .iter()
+            .filter(|r| r.hosts == 8 && r.policy != "Least-Work-Left")
+            .max_by(|a, b| a.vectorized_jps.total_cmp(&b.vectorized_jps))
+            .expect("simd rows");
+        println!("trajectory summary:");
+        println!(
+            "  parallel sweep      {speedup:.2}x on {workers} cores (bit-identical {sweep_identical})"
+        );
+        println!(
+            "  kernel dispatch     best {:.2}x ({}) over the full-state loop",
+            best_kernel.specialized_jps / best_kernel.full_jps,
+            best_kernel.policy
+        );
+        println!(
+            "  pool vs spawn       {:.2}x; workspace reuse {:.2}x, {} steady allocs/run",
+            pool.scoped_secs / pool.pooled_secs,
+            workspace.reused_jps / workspace.fresh_jps,
+            workspace.steady_allocs_per_run
+        );
+        println!(
+            "  simd static (h=8)   {} scalar {}/s -> vector {}/s ({:.2}x) -> fused x{} {}/s ({:.2}x)",
+            h8_static.policy,
+            fmt_rate(h8_static.scalar_jps),
+            fmt_rate(h8_static.vectorized_jps),
+            h8_static.vectorized_jps / h8_static.scalar_jps,
+            SIMD_LANES,
+            fmt_rate(h8_static.fused_jps),
+            h8_static.fused_jps / h8_static.scalar_jps,
+        );
+        println!(
+            "  scaling stops at    h=8: {} threads, h=64: {}, h=1024: {}",
+            scaling_stop(&scaling, 8),
+            scaling_stop(&scaling, 64),
+            scaling_stop(&scaling, 1024),
+        );
     }
 
     if !bit_identical {

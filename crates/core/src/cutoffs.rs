@@ -68,20 +68,30 @@ pub fn resolve_cutoff<D: Distribution + ?Sized>(
         CutoffMethod::EqualLoad => sita_e_cutoffs(dist, hosts),
         CutoffMethod::OptSlowdown => {
             if hosts == 2 {
-                // grid scan + golden refinement replay the same band
-                // queries; the memoizing view answers repeats from cache
-                // (bit-identical — see `TruncatedMoments`)
-                let cached = TruncatedMoments::new(dist);
-                Ok(vec![sita_u_opt_cutoff(&cached, lambda)?])
+                // Grid scan + golden refinement replay the same band
+                // queries. For quadrature-fallback distributions the
+                // memoizing view answers repeats from cache; closed-form
+                // moments are cheaper recomputed than memoized. Both
+                // paths are bit-identical — see `TruncatedMoments`.
+                if dist.closed_form_moments() {
+                    Ok(vec![sita_u_opt_cutoff(dist, lambda)?])
+                } else {
+                    let cached = TruncatedMoments::new(dist);
+                    Ok(vec![sita_u_opt_cutoff(&cached, lambda)?])
+                }
             } else {
-                // the multi-host solver memoizes internally
+                // the multi-host solver decides memoization internally
                 sita_u_opt_cutoffs_multi(dist, lambda, hosts)
             }
         }
         CutoffMethod::Fair => {
             if hosts == 2 {
-                let cached = TruncatedMoments::new(dist);
-                Ok(vec![sita_u_fair_cutoff(&cached, lambda)?])
+                if dist.closed_form_moments() {
+                    Ok(vec![sita_u_fair_cutoff(dist, lambda)?])
+                } else {
+                    let cached = TruncatedMoments::new(dist);
+                    Ok(vec![sita_u_fair_cutoff(&cached, lambda)?])
+                }
             } else {
                 sita_u_fair_cutoffs_multi(dist, lambda, hosts)
             }

@@ -5,10 +5,18 @@ use crate::spec::{BuiltPolicy, PolicySpec};
 use dses_dist::{derive_seed, Distribution};
 use dses_queueing::cutoff::CutoffError;
 use dses_queueing::policies::{analyze_policy, AnalyticMetrics, AnalyticPolicy};
-use dses_sim::par::{effective_workers, par_map, par_map_indexed};
-use dses_sim::{simulate_dispatch, EventEngine, MetricsConfig, SimResult};
+use dses_sim::par::{effective_workers, par_map, par_map_grouped, par_map_indexed};
+use dses_sim::{
+    simulate_dispatch, simulate_dispatch_fused, Dispatcher, EventEngine, MetricsConfig, SimResult,
+};
 use dses_workload::{Trace, WorkloadBuilder};
 use std::sync::Arc;
+
+/// Replication lanes fused into one simulation pass. Eight independent
+/// Lindley/Welford chains are enough to hide the ~20-cycle loop-carried
+/// latency of a single lane without spilling the hot state out of
+/// registers/L1 (see `DESIGN.md` §11).
+const FUSE_WIDTH: usize = 8;
 
 /// A configured experiment: a workload distribution plus simulation
 /// parameters. Cheap to clone; immutable once built.
@@ -170,12 +178,30 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
         spec: &PolicySpec,
         trace: &Trace,
     ) -> Result<SimResult, CutoffError> {
-        // Resolve cutoffs from the *target* operating point: the job-size
-        // distribution and the trace's realised arrival rate.
+        let (built, cfg) = self.prepare_run(spec, trace)?;
+        let result = match built {
+            BuiltPolicy::Dispatch(mut p) => {
+                simulate_dispatch(trace, self.hosts, p.as_mut(), self.seed, cfg)
+            }
+            BuiltPolicy::Central(discipline) => {
+                EventEngine::new(self.hosts, cfg).run_central_queue(trace, discipline)
+            }
+        };
+        Ok(result)
+    }
+
+    /// Resolve everything a run needs that depends on the *target*
+    /// operating point — the built policy (cutoffs resolved against the
+    /// trace's realised arrival rate) and the metrics configuration (for
+    /// 2-host SITA policies, slowdown statistics are split at the cutoff
+    /// so short-vs-long fairness is measured for free).
+    fn prepare_run(
+        &self,
+        spec: &PolicySpec,
+        trace: &Trace,
+    ) -> Result<(BuiltPolicy, MetricsConfig), CutoffError> {
         let lambda = trace.arrival_rate();
         let built = spec.build(&self.dist, lambda, self.hosts)?;
-        // For 2-host SITA policies, also split slowdown statistics at the
-        // cutoff so short-vs-long fairness is measured for free.
         let cutoff_method = match spec {
             PolicySpec::SitaE => Some(crate::cutoffs::CutoffMethod::EqualLoad),
             PolicySpec::SitaUOpt => Some(crate::cutoffs::CutoffMethod::OptSlowdown),
@@ -192,16 +218,7 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
             (None, PolicySpec::SitaFixed { cutoffs }) if cutoffs.len() == 1 => Some(cutoffs[0]),
             _ => None,
         };
-        let cfg = self.metrics_config(split);
-        let result = match built {
-            BuiltPolicy::Dispatch(mut p) => {
-                simulate_dispatch(trace, self.hosts, p.as_mut(), self.seed, cfg)
-            }
-            BuiltPolicy::Central(discipline) => {
-                EventEngine::new(self.hosts, cfg).run_central_queue(trace, discipline)
-            }
-        };
-        Ok(result)
+        Ok((built, self.metrics_config(split)))
     }
 
     /// Simulate a whole load sweep (a one-policy [`Experiment::sweep_grid`]).
@@ -320,6 +337,13 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
     /// replications give an honest confidence interval where batch means
     /// within a single trace would understate the trace-to-trace
     /// variability.
+    ///
+    /// Replications are fused in blocks of up to 8: when the policy takes
+    /// a recognised dispatch kernel ([`dses_sim::DispatchKernel`]), a
+    /// block's lanes advance through one simulation pass with interleaved
+    /// host banks ([`simulate_dispatch_fused`]), which is bit-for-bit
+    /// identical to running the lanes one at a time. Central-queue
+    /// policies and resolution failures fall back to the per-lane path.
     pub fn replicate(
         &self,
         spec: &PolicySpec,
@@ -329,13 +353,60 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
         assert!(replications >= 1, "need at least one replication");
         let this = Arc::new(self.clone());
         let spec = spec.clone();
-        let samples = par_map_indexed(replications, self.workers(), move |r| {
-            let clone = (*this).clone().seed(derive_seed(this.seed, r as u64));
-            clone.try_run(&spec, rho).map(|result| result.slowdown.mean)
+        let samples = par_map_grouped(replications, FUSE_WIDTH, self.workers(), move |range| {
+            this.replicate_group(&spec, rho, range)
         })
         .into_iter()
         .collect::<Result<Vec<f64>, CutoffError>>()?;
         Ok(Replicated::from_samples(&samples))
+    }
+
+    /// Run replication lanes `range` (seed of lane `r` is
+    /// `derive_seed(seed, r)`) and return one mean-slowdown sample per
+    /// lane, in lane order.
+    ///
+    /// Fast path: if every lane resolves to a dispatch policy, the whole
+    /// block runs as one fused pass. Otherwise — any central-queue build
+    /// or resolution error — each lane runs individually, so per-lane
+    /// results (including which lane errors first) match the sequential
+    /// semantics exactly.
+    fn replicate_group(
+        &self,
+        spec: &PolicySpec,
+        rho: f64,
+        range: std::ops::Range<usize>,
+    ) -> Vec<Result<f64, CutoffError>> {
+        let lanes: Vec<(Self, Trace)> = range
+            .map(|r| {
+                let clone = self.clone().seed(derive_seed(self.seed, r as u64));
+                let trace = clone.trace(rho);
+                (clone, trace)
+            })
+            .collect();
+        let mut policies: Vec<Box<dyn Dispatcher>> = Vec::with_capacity(lanes.len());
+        let mut cfgs: Vec<MetricsConfig> = Vec::with_capacity(lanes.len());
+        for (clone, trace) in &lanes {
+            match clone.prepare_run(spec, trace) {
+                Ok((BuiltPolicy::Dispatch(p), cfg)) => {
+                    policies.push(p);
+                    cfgs.push(cfg);
+                }
+                // Central-queue lane or resolution error: the fused pass
+                // cannot represent this block, so replay it lane by lane.
+                _ => {
+                    return lanes
+                        .iter()
+                        .map(|(c, t)| c.try_run_on_trace(spec, t).map(|r| r.slowdown.mean))
+                        .collect();
+                }
+            }
+        }
+        let traces: Vec<&Trace> = lanes.iter().map(|(_, t)| t).collect();
+        let seeds: Vec<u64> = lanes.iter().map(|(c, _)| c.seed).collect();
+        simulate_dispatch_fused(&traces, self.hosts, &mut policies, &seeds, &cfgs)
+            .into_iter()
+            .map(|r| Ok(r.slowdown.mean))
+            .collect()
     }
 }
 

@@ -21,7 +21,7 @@
 pub mod tags;
 
 use dses_dist::Rng64;
-use dses_sim::{Dispatcher, StateNeeds, SystemState};
+use dses_sim::{DispatchKernel, Dispatcher, StateNeeds, SystemState};
 use dses_workload::Job;
 
 /// Random assignment: send each job to a uniformly random host.
@@ -42,6 +42,11 @@ impl Dispatcher for RandomPolicy {
 
     fn state_needs(&self) -> StateNeeds {
         StateNeeds::NOTHING
+    }
+
+    fn dispatch_kernel(&self) -> DispatchKernel<'_> {
+        // dispatch above is exactly one rng.below(hosts) draw per job
+        DispatchKernel::UniformRandom
     }
 }
 
@@ -71,6 +76,11 @@ impl Dispatcher for RoundRobin {
 
     fn state_needs(&self) -> StateNeeds {
         StateNeeds::NOTHING
+    }
+
+    fn dispatch_kernel(&self) -> DispatchKernel<'_> {
+        // after reset, dispatch yields 0, 1, …, h−1, 0, … with no RNG
+        DispatchKernel::RoundRobin
     }
 }
 
@@ -110,6 +120,11 @@ impl Dispatcher for LeastWorkLeft {
 
     fn state_needs(&self) -> StateNeeds {
         StateNeeds::WORK_LEFT
+    }
+
+    fn dispatch_kernel(&self) -> DispatchKernel<'_> {
+        // dispatch is exactly least_work(): leftmost-tie argmin, no RNG
+        DispatchKernel::LeastWorkLeft
     }
 }
 
@@ -180,6 +195,12 @@ impl Dispatcher for SizeInterval {
 
     fn state_needs(&self) -> StateNeeds {
         StateNeeds::NOTHING
+    }
+
+    fn dispatch_kernel(&self) -> DispatchKernel<'_> {
+        // host_for is partition_point over the strictly increasing
+        // cutoffs — exactly the SizeInterval kernel contract, no RNG
+        DispatchKernel::SizeInterval(&self.cutoffs)
     }
 }
 

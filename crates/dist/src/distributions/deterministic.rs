@@ -31,6 +31,9 @@ impl Deterministic {
 }
 
 impl Distribution for Deterministic {
+    fn closed_form_moments(&self) -> bool {
+        true
+    }
     fn sample(&self, _rng: &mut Rng64) -> f64 {
         self.value
     }

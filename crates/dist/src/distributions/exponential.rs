@@ -40,6 +40,9 @@ impl Exponential {
 }
 
 impl Distribution for Exponential {
+    fn closed_form_moments(&self) -> bool {
+        true
+    }
     fn sample(&self, rng: &mut Rng64) -> f64 {
         rng.standard_exponential() / self.rate
     }

@@ -75,6 +75,9 @@ impl HyperExponential {
 }
 
 impl Distribution for HyperExponential {
+    fn closed_form_moments(&self) -> bool {
+        true
+    }
     fn sample(&self, rng: &mut Rng64) -> f64 {
         let u = rng.uniform();
         let mut acc = 0.0;

@@ -56,6 +56,9 @@ impl LogNormal {
 }
 
 impl Distribution for LogNormal {
+    fn closed_form_moments(&self) -> bool {
+        true
+    }
     fn sample(&self, rng: &mut Rng64) -> f64 {
         (self.mu + self.sigma * rng.standard_normal()).exp()
     }

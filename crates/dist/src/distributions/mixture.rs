@@ -115,6 +115,11 @@ impl Distribution for Mixture {
             .map(|(w, c)| w * c.partial_moment(k, a, b))
             .sum()
     }
+
+    fn closed_form_moments(&self) -> bool {
+        // a weighted sum of closed forms is a closed form
+        self.components.iter().all(|c| c.closed_form_moments())
+    }
 }
 
 #[cfg(test)]

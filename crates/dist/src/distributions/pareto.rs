@@ -66,6 +66,9 @@ impl Pareto {
 }
 
 impl Distribution for Pareto {
+    fn closed_form_moments(&self) -> bool {
+        true
+    }
     fn sample(&self, rng: &mut Rng64) -> f64 {
         // inverse transform: x = k · u^{-1/α} with u ~ U(0,1)
         self.k * rng.uniform_open().powf(-1.0 / self.alpha)

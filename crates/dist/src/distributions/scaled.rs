@@ -66,6 +66,10 @@ impl<D: Distribution> Distribution for Scaled<D> {
     fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
         self.factor.powi(k) * self.inner.partial_moment(k, a / self.factor, b / self.factor)
     }
+
+    fn closed_form_moments(&self) -> bool {
+        self.inner.closed_form_moments()
+    }
 }
 
 #[cfg(test)]

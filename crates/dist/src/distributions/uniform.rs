@@ -36,6 +36,9 @@ impl Uniform {
 }
 
 impl Distribution for Uniform {
+    fn closed_form_moments(&self) -> bool {
+        true
+    }
     fn sample(&self, rng: &mut Rng64) -> f64 {
         rng.uniform_in(self.lo, self.hi)
     }

@@ -76,6 +76,9 @@ impl Weibull {
 }
 
 impl Distribution for Weibull {
+    fn closed_form_moments(&self) -> bool {
+        true
+    }
     fn sample(&self, rng: &mut Rng64) -> f64 {
         self.scale * rng.standard_exponential().powf(1.0 / self.shape)
     }

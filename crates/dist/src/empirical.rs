@@ -110,6 +110,9 @@ impl Empirical {
 }
 
 impl Distribution for Empirical {
+    fn closed_form_moments(&self) -> bool {
+        true
+    }
     fn sample(&self, rng: &mut Rng64) -> f64 {
         let i = rng.below(self.sorted.len() as u64) as usize;
         self.sorted[i]

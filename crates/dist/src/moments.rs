@@ -3,8 +3,13 @@
 //! Simulation runs in this workspace can process tens of millions of jobs;
 //! we never buffer per-job values unless explicitly asked to. Instead,
 //! [`OnlineMoments`] accumulates mean and variance with Welford's
-//! numerically stable recurrence, plus raw second/third moments and
-//! min/max, in one pass and O(1) memory.
+//! numerically stable recurrence, plus min/max, in one pass and O(1)
+//! memory. Raw second/third sample moments live in
+//! [`crate::summary::Summary`] (which buffers values anyway) — keeping
+//! them out of the accumulator keeps the simulation engines' per-job
+//! metrics cost at two multiply-add chains per stream, which is what
+//! lets the specialized kernels run at tens of millions of jobs per
+//! second (DESIGN.md §11).
 
 /// A finalized set of sample moments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,10 +20,6 @@ pub struct Moments {
     pub mean: f64,
     /// population variance (divides by n)
     pub variance: f64,
-    /// raw second moment `E[X²]`
-    pub raw2: f64,
-    /// raw third moment `E[X³]`
-    pub raw3: f64,
     /// smallest observation
     pub min: f64,
     /// largest observation
@@ -50,8 +51,6 @@ pub struct OnlineMoments {
     n: u64,
     mean: f64,
     m2: f64, // Σ (x − mean)²
-    raw2: f64,
-    raw3: f64,
     min: f64,
     max: f64,
 }
@@ -64,8 +63,6 @@ impl OnlineMoments {
             n: 0,
             mean: 0.0,
             m2: 0.0,
-            raw2: 0.0,
-            raw3: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -74,14 +71,28 @@ impl OnlineMoments {
     /// Add one observation.
     #[inline]
     pub fn push(&mut self, x: f64) {
+        let inv = 1.0 / (self.n + 1) as f64;
+        self.push_with_inv(x, inv);
+    }
+
+    /// Add one observation, with `1/(count()+1)` supplied by the caller.
+    ///
+    /// The mean update rescales by that reciprocal instead of dividing,
+    /// and a caller feeding several accumulators in lockstep (the metrics
+    /// collector pushes four per job) can hoist the divide across all of
+    /// them — `fdiv` is the one unpipelined unit on every current core,
+    /// so the hot simulation loops budget divides per job, not flops.
+    #[inline]
+    pub fn push_with_inv(&mut self, x: f64, inv_next_n: f64) {
+        debug_assert_eq!(
+            inv_next_n.to_bits(),
+            (1.0 / (self.n + 1) as f64).to_bits(),
+            "inv_next_n must be exactly 1/(count()+1)"
+        );
         self.n += 1;
         let delta = x - self.mean;
-        self.mean += delta / self.n as f64;
+        self.mean += delta * inv_next_n;
         self.m2 += delta * (x - self.mean);
-        // raw moments: incremental mean of x^2, x^3
-        let nf = self.n as f64;
-        self.raw2 += (x * x - self.raw2) / nf;
-        self.raw3 += (x * x * x - self.raw3) / nf;
         if x < self.min {
             self.min = x;
         }
@@ -105,8 +116,6 @@ impl OnlineMoments {
         let delta = other.mean - self.mean;
         self.mean += delta * n2 / n;
         self.m2 += other.m2 + delta * delta * n1 * n2 / n;
-        self.raw2 = (self.raw2 * n1 + other.raw2 * n2) / n;
-        self.raw3 = (self.raw3 * n1 + other.raw3 * n2) / n;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.n += other.n;
@@ -146,18 +155,6 @@ impl OnlineMoments {
         } else {
             self.m2 / (self.n - 1) as f64
         }
-    }
-
-    /// Raw second moment `E[X²]`.
-    #[must_use]
-    pub fn raw_moment2(&self) -> f64 {
-        self.raw2
-    }
-
-    /// Raw third moment `E[X³]`.
-    #[must_use]
-    pub fn raw_moment3(&self) -> f64 {
-        self.raw3
     }
 
     /// Squared coefficient of variation of the sample.
@@ -201,8 +198,6 @@ impl OnlineMoments {
             count: self.n,
             mean: self.mean(),
             variance: self.variance(),
-            raw2: self.raw2,
-            raw3: self.raw3,
             min: self.min,
             max: self.max,
         }
@@ -239,10 +234,8 @@ mod tests {
         let n = data.len() as f64;
         let mean = data.iter().sum::<f64>() / n;
         let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        let raw2 = data.iter().map(|x| x * x).sum::<f64>() / n;
         assert!((om.mean() - mean).abs() < 1e-12);
         assert!((om.variance() - var).abs() < 1e-12);
-        assert!((om.raw_moment2() - raw2).abs() < 1e-12);
         assert_eq!(om.min(), 1.0);
         assert_eq!(om.max(), 9.0);
     }
@@ -258,7 +251,6 @@ mod tests {
         assert_eq!(merged.count(), all.count());
         assert!((merged.mean() - all.mean()).abs() < 1e-12);
         assert!((merged.variance() - all.variance()).abs() < 1e-12);
-        assert!((merged.raw_moment3() - all.raw_moment3()).abs() < 1e-12);
         assert_eq!(merged.min(), all.min());
         assert_eq!(merged.max(), all.max());
     }

@@ -9,6 +9,8 @@ use crate::moments::OnlineMoments;
 pub struct Summary {
     sorted: Vec<f64>,
     moments: OnlineMoments,
+    raw2: f64,
+    raw3: f64,
 }
 
 impl Summary {
@@ -26,7 +28,18 @@ impl Summary {
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
         let moments = values.iter().copied().collect();
-        Self { sorted, moments }
+        // raw sample moments, accumulated smallest-first for stability
+        // (the batch is already in hand here; the streaming accumulator
+        // deliberately doesn't carry them — see crate::moments)
+        let n = sorted.len().max(1) as f64;
+        let raw2 = sorted.iter().map(|x| x * x).sum::<f64>() / n;
+        let raw3 = sorted.iter().map(|x| x * x * x).sum::<f64>() / n;
+        Self {
+            sorted,
+            moments,
+            raw2,
+            raw3,
+        }
     }
 
     /// Number of values.
@@ -69,13 +82,13 @@ impl Summary {
     /// Raw second moment `E[X²]`.
     #[must_use]
     pub fn raw_moment2(&self) -> f64 {
-        self.moments.raw_moment2()
+        self.raw2
     }
 
     /// Raw third moment `E[X³]`.
     #[must_use]
     pub fn raw_moment3(&self) -> f64 {
-        self.moments.raw_moment3()
+        self.raw3
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order

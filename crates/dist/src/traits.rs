@@ -181,6 +181,25 @@ pub trait Distribution: std::fmt::Debug + Send + Sync {
         }
         (self.partial_moment(1, x, hi) / m).clamp(0.0, 1.0)
     }
+
+    /// Whether [`Distribution::raw_moment`] and
+    /// [`Distribution::partial_moment`] resolve in closed form (possibly
+    /// via special functions), rather than falling back to the
+    /// quantile-space quadrature defaults above.
+    ///
+    /// Moment-hungry consumers (the cutoff solvers in `dses-queueing`)
+    /// use this to decide whether memoizing repeated queries pays for
+    /// itself: a closed-form moment is cheaper than a hash-map probe
+    /// under a mutex, while one quadrature evaluation costs hundreds of
+    /// quantile calls. The answer must not affect results — only which
+    /// path computes them.
+    ///
+    /// Default `false` (this trait's own defaults are quadrature).
+    /// Implementors overriding both moment methods should return `true`;
+    /// wrappers forward the inner distribution's answer.
+    fn closed_form_moments(&self) -> bool {
+        false
+    }
 }
 
 /// `∫_{u_lo}^{u_hi} Q(u)^k du` by composite Gauss–Legendre with extra
@@ -242,6 +261,9 @@ impl Distribution for Box<dyn Distribution> {
     fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
         self.as_ref().partial_moment(k, a, b)
     }
+    fn closed_form_moments(&self) -> bool {
+        self.as_ref().closed_form_moments()
+    }
 }
 
 impl Distribution for std::sync::Arc<dyn Distribution> {
@@ -263,6 +285,9 @@ impl Distribution for std::sync::Arc<dyn Distribution> {
     fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
         self.as_ref().partial_moment(k, a, b)
     }
+    fn closed_form_moments(&self) -> bool {
+        self.as_ref().closed_form_moments()
+    }
 }
 
 impl<D: Distribution> Distribution for &D {
@@ -283,6 +308,9 @@ impl<D: Distribution> Distribution for &D {
     }
     fn partial_moment(&self, k: i32, a: f64, b: f64) -> f64 {
         (**self).partial_moment(k, a, b)
+    }
+    fn closed_form_moments(&self) -> bool {
+        (**self).closed_form_moments()
     }
 }
 

@@ -212,6 +212,9 @@ impl<D: Distribution + ?Sized> Distribution for TruncatedMoments<'_, D> {
         }
         (self.partial_moment(1, x, hi) / m).clamp(0.0, 1.0)
     }
+    fn closed_form_moments(&self) -> bool {
+        self.inner.closed_form_moments()
+    }
 }
 
 /// Test-support constructor shared across the crate's test modules: the
@@ -421,8 +424,23 @@ pub fn sita_u_opt_cutoffs_multi<D: Distribution + ?Sized>(
 ) -> Result<Vec<f64>, CutoffError> {
     assert!(hosts >= 2, "need at least two hosts");
     // Coordinate descent re-evaluates bands whose edges did not move on
-    // every sweep; the memoizing view collapses those repeats.
-    let dist = &TruncatedMoments::new(dist);
+    // every sweep. For quadrature-fallback distributions the memoizing
+    // view collapses those repeats; when every moment resolves in closed
+    // form the recompute is cheaper than the memo's hash+lock, so skip
+    // the wrapper. Both paths are bit-identical — the memo caches exact
+    // values (`tests::memo_bypass_is_bit_identical`).
+    if dist.closed_form_moments() {
+        sita_u_opt_cutoffs_multi_impl(dist, lambda, hosts)
+    } else {
+        sita_u_opt_cutoffs_multi_impl(&TruncatedMoments::new(dist), lambda, hosts)
+    }
+}
+
+fn sita_u_opt_cutoffs_multi_impl<D: Distribution + ?Sized>(
+    dist: &D,
+    lambda: f64,
+    hosts: usize,
+) -> Result<Vec<f64>, CutoffError> {
     let offered = lambda * dist.raw_moment(1);
     if offered >= hosts as f64 {
         return Err(CutoffError::Infeasible { offered });
@@ -518,8 +536,21 @@ pub fn sita_u_fair_cutoffs_multi<D: Distribution + ?Sized>(
 ) -> Result<Vec<f64>, CutoffError> {
     assert!(hosts >= 2, "need at least two hosts");
     // Water-filling's outer bisection replays near-identical band edges
-    // across placements; the memoizing view collapses the repeats.
-    let dist = &TruncatedMoments::new(dist);
+    // across placements; the memoizing view collapses the repeats — but
+    // only pays off when a repeat is expensive. Closed-form moments go
+    // straight to the distribution (bit-identical either way).
+    if dist.closed_form_moments() {
+        sita_u_fair_cutoffs_multi_impl(dist, lambda, hosts)
+    } else {
+        sita_u_fair_cutoffs_multi_impl(&TruncatedMoments::new(dist), lambda, hosts)
+    }
+}
+
+fn sita_u_fair_cutoffs_multi_impl<D: Distribution + ?Sized>(
+    dist: &D,
+    lambda: f64,
+    hosts: usize,
+) -> Result<Vec<f64>, CutoffError> {
     let offered = lambda * dist.raw_moment(1);
     if offered >= hosts as f64 {
         return Err(CutoffError::Infeasible { offered });
@@ -817,6 +848,44 @@ mod tests {
         let cached_fair = TruncatedMoments::new(&d);
         let memoized_fair = sita_u_fair_cutoff(&cached_fair, lambda).unwrap();
         assert_eq!(raw_fair.to_bits(), memoized_fair.to_bits());
+    }
+
+    #[test]
+    fn memo_bypass_is_bit_identical() {
+        // The multi-host solvers route closed-form distributions around
+        // the memo. Force both paths over the same distribution and
+        // assert every cutoff matches to the bit.
+        let d = c90ish();
+        assert!(d.closed_form_moments(), "c90 mixture resolves in closed form");
+        let hosts = 4;
+        let lambda = 0.7 * hosts as f64 / d.mean();
+        // direct path (the public entry point sees closed_form_moments)
+        let direct_opt = sita_u_opt_cutoffs_multi(&d, lambda, hosts).unwrap();
+        let direct_fair = sita_u_fair_cutoffs_multi(&d, lambda, hosts).unwrap();
+        // memoized path, forced by calling the impl through the wrapper
+        let memo = TruncatedMoments::new(&d);
+        let memo_opt = sita_u_opt_cutoffs_multi_impl(&memo, lambda, hosts).unwrap();
+        let memo_fair = sita_u_fair_cutoffs_multi_impl(&memo, lambda, hosts).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&direct_opt), bits(&memo_opt));
+        assert_eq!(bits(&direct_fair), bits(&memo_fair));
+        let (hits, _) = memo.stats();
+        assert!(hits > 0, "memoized path should actually consult the cache");
+    }
+
+    #[test]
+    fn quadrature_fallback_dists_keep_the_memo() {
+        // Erlang has no closed-form partial moment: the memo must stay.
+        let erl = Erlang::new(3, 0.5).unwrap();
+        assert!(!erl.closed_form_moments());
+        // and a mixture inherits the weakest component
+        let mixed = Mixture::new(vec![
+            (0.5, Box::new(Erlang::new(2, 1.0).unwrap()) as Box<dyn Distribution>),
+            (0.5, Box::new(Exponential::with_mean(1.0).unwrap())),
+        ])
+        .unwrap();
+        assert!(!mixed.closed_form_moments());
+        assert!(c90ish().closed_form_moments());
     }
 
     #[test]

@@ -46,8 +46,8 @@
 
 use std::cmp::Reverse;
 
-use crate::metrics::{JobRecord, MetricsConfig, SimResult};
-use crate::state::{Dispatcher, HostView, SystemState};
+use crate::metrics::{Collector, JobRecord, MetricsConfig, SimResult};
+use crate::state::{DispatchKernel, Dispatcher, HostView, StateNeeds, SystemState};
 use crate::workspace::{with_thread_workspace, SimWorkspace};
 use dses_dist::Rng64;
 use dses_workload::Trace;
@@ -107,6 +107,80 @@ impl SpeedModel for PerHostSpeeds<'_> {
     fn service(&self, host: usize, size: f64) -> f64 {
         size / self.0[host]
     }
+}
+
+/// Number of parallel accumulator lanes in [`argmin_work_left`]: eight
+/// f64s are one AVX-512 register or two AVX2 registers. The chunked loop
+/// is plain safe code shaped so the autovectorizer lowers it to
+/// `vsubpd`/`vmaxpd`/`vcmppd`/`vblendvpd` — no intrinsics, no `unsafe`.
+const ARGMIN_LANES: usize = 8;
+
+/// Leftmost argmin of the clamped backlog `max(free_at[h] − now, 0)` —
+/// the branchless, vectorizable replacement for
+/// [`SystemState::least_work`] over views refreshed from the Lindley
+/// scalars.
+///
+/// Tie-break proof sketch (full version: DESIGN.md §11). The clamped
+/// values are finite, non-negative, and never `−0.0` (`free_at` holds
+/// `+0.0` or positive sums; equal finite operands subtract to `+0.0`,
+/// and the clamp maps every non-positive input to `+0.0`), so
+/// `total_cmp` coincides with `<` and the scalar reference — `min_by`
+/// keeping the first minimum — is exactly "leftmost strict minimum".
+/// The chunked scan keeps one running `(value, index)` pair per residue
+/// class mod [`ARGMIN_LANES`], updated with strict `<` so each lane
+/// holds the *first* minimum of its class; the global leftmost minimum
+/// is the first minimum of its own class, hence among the eight
+/// candidates, and the `(min value, then min index)` horizontal
+/// reduction recovers exactly it. The scalar tail covers indices after
+/// the chunked prefix, where strict `<` alone preserves the tie-break.
+// dses-lint: deny(alloc)
+#[must_use]
+pub(crate) fn argmin_work_left(free_at: &[f64], now: f64) -> usize {
+    let n = free_at.len();
+    debug_assert!(n > 0, "argmin over zero hosts");
+    let chunks = if n >= 2 * ARGMIN_LANES { n / ARGMIN_LANES } else { 0 };
+    let mut best_v = f64::INFINITY;
+    let mut best_i = 0usize;
+    // The chunked scan pays a fixed cost (lane init + an 8-way
+    // horizontal reduce) that only amortizes once several chunks flow
+    // through it; below that the plain strict-`<` loop — the proof's
+    // "tail" case covering the whole slice — is faster and trivially
+    // leftmost-tie-wins.
+    if chunks > 0 {
+        // Indices ride in f64 lanes too (exact below 2^53), so one
+        // compare mask drives two same-width selects.
+        let mut lane_v = [f64::INFINITY; ARGMIN_LANES];
+        let mut lane_i = [0.0f64; ARGMIN_LANES];
+        for (c, block) in free_at.chunks_exact(ARGMIN_LANES).enumerate() {
+            let base = (c * ARGMIN_LANES) as f64;
+            for j in 0..ARGMIN_LANES {
+                let v = (block[j] - now).max(0.0);
+                // strict `<`: ties never displace the earlier chunk's entry
+                let keep = v < lane_v[j];
+                lane_v[j] = if keep { v } else { lane_v[j] };
+                lane_i[j] = if keep { base + j as f64 } else { lane_i[j] };
+            }
+        }
+        // (min value, then min index) select-based reduce: lane j holds
+        // the first minimum of residue class j, so the global leftmost
+        // minimum is the lowest index among the value-tied lanes.
+        let mut red_i = 0.0f64;
+        for j in 0..ARGMIN_LANES {
+            let better =
+                lane_v[j] < best_v || (lane_v[j] == best_v && lane_i[j] < red_i);
+            best_v = if better { lane_v[j] } else { best_v };
+            red_i = if better { lane_i[j] } else { red_i };
+        }
+        best_i = red_i as usize;
+    }
+    for (off, &f) in free_at[chunks * ARGMIN_LANES..].iter().enumerate() {
+        let v = (f - now).max(0.0);
+        if v < best_v {
+            best_v = v;
+            best_i = chunks * ARGMIN_LANES + off;
+        }
+    }
+    best_i
 }
 
 /// Simulate `trace` on `hosts` identical FCFS hosts under `policy`.
@@ -236,8 +310,35 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
     policy.reset();
     let needs = policy.state_needs();
     let mut rng = Rng64::seed_from(seed).stream(0xD15);
-    ws.reset_fast(hosts, trace.backlog_hint(hosts));
+    ws.reset_fast(hosts, trace.backlog_hint(hosts), needs);
     ws.collector.reset(hosts, cfg, trace.len());
+
+    // Inline a declared closed-form kernel: same decisions, same RNG
+    // stream, no per-job virtual call. The SITA cutoffs are copied into
+    // workspace scratch so the borrow on the policy ends here.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Selected {
+        Random,
+        RoundRobin,
+        Sita,
+        WorkLeft,
+        Generic,
+    }
+    let selected = match (policy.dispatch_kernel(), needs) {
+        (DispatchKernel::UniformRandom, n) if n == StateNeeds::NOTHING => Selected::Random,
+        (DispatchKernel::RoundRobin, n) if n == StateNeeds::NOTHING => Selected::RoundRobin,
+        (DispatchKernel::SizeInterval(cuts), n)
+            if n == StateNeeds::NOTHING && cuts.len() < hosts =>
+        {
+            ws.kernel_cutoffs.clear();
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: scratch reaches h−1 cutoffs and stays
+            ws.kernel_cutoffs.extend_from_slice(cuts);
+            Selected::Sita
+        }
+        (DispatchKernel::LeastWorkLeft, n) if n == StateNeeds::WORK_LEFT => Selected::WorkLeft,
+        _ => Selected::Generic,
+    };
+
     let jobs = trace.jobs();
     let arrivals = trace.arrivals();
     let sizes = trace.sizes();
@@ -248,8 +349,64 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
         expiry,
         heaps,
         collector,
+        kernel_cutoffs,
         ..
     } = ws;
+
+    match selected {
+        Selected::Random => {
+            run_static_kernel(
+                trace,
+                speeds,
+                |_, rng| rng.below(hosts as u64) as usize,
+                &mut rng,
+                free_at,
+                collector,
+            );
+            collector.finish_into(out);
+            return;
+        }
+        Selected::RoundRobin => {
+            // engine-owned cursor: `next % hosts` under the invariant
+            // `next < hosts`, exactly the policy's arithmetic
+            let mut next = 0usize;
+            run_static_kernel(
+                trace,
+                speeds,
+                |_, _| {
+                    let t = next;
+                    next = if t + 1 == hosts { 0 } else { t + 1 };
+                    t
+                },
+                &mut rng,
+                free_at,
+                collector,
+            );
+            collector.finish_into(out);
+            return;
+        }
+        Selected::Sita => {
+            // branchless prefix count ≡ `partition_point(|c| size > c)`
+            // on strictly increasing cutoffs ({c : size > c} is a prefix)
+            let cuts = kernel_cutoffs.as_slice();
+            run_static_kernel(
+                trace,
+                speeds,
+                |size, _| cuts.iter().map(|&c| usize::from(size > c)).sum(),
+                &mut rng,
+                free_at,
+                collector,
+            );
+            collector.finish_into(out);
+            return;
+        }
+        Selected::WorkLeft => {
+            run_work_left_kernel(trace, speeds, free_at, collector);
+            collector.finish_into(out);
+            return;
+        }
+        Selected::Generic => {}
+    }
 
     if needs.needs_queue_len() && needs.needs_work_left() {
         // Full loop: per-host completion heaps maintain queue lengths
@@ -405,6 +562,334 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
         }
     }
     collector.finish_into(out);
+}
+
+/// The inlined static-policy loop: `select` is the policy's closed-form
+/// decision rule (capturing any engine-owned cursor or cutoff state),
+/// and everything else is the bare Lindley recursion. With the virtual
+/// call gone the loop body is straight-line code the compiler can
+/// software-pipeline across iterations.
+// dses-lint: deny(alloc)
+fn run_static_kernel<S: SpeedModel, F: FnMut(f64, &mut Rng64) -> usize>(
+    trace: &Trace,
+    speeds: &S,
+    mut select: F,
+    rng: &mut Rng64,
+    free_at: &mut [f64],
+    collector: &mut Collector,
+) {
+    let jobs = trace.jobs();
+    let arrivals = trace.arrivals();
+    let sizes = trace.sizes();
+    for i in 0..jobs.len() {
+        let now = arrivals[i];
+        let size = sizes[i];
+        let target = select(size, rng);
+        debug_assert!(
+            target < free_at.len(),
+            "kernel selected host {target} of {}",
+            free_at.len()
+        );
+        let start = now.max(free_at[target]);
+        let completion = start + speeds.service(target, size);
+        free_at[target] = completion;
+        collector.record(JobRecord {
+            id: jobs[i].id,
+            arrival: now,
+            size,
+            start,
+            completion,
+            host: target,
+        });
+    }
+}
+
+/// The inlined least-work-left loop: [`argmin_work_left`] directly over
+/// the Lindley scalars — no view refresh, no virtual call.
+// dses-lint: deny(alloc)
+fn run_work_left_kernel<S: SpeedModel>(
+    trace: &Trace,
+    speeds: &S,
+    free_at: &mut [f64],
+    collector: &mut Collector,
+) {
+    let jobs = trace.jobs();
+    let arrivals = trace.arrivals();
+    let sizes = trace.sizes();
+    for i in 0..jobs.len() {
+        let now = arrivals[i];
+        let target = argmin_work_left(free_at, now);
+        let start = now.max(free_at[target]);
+        let completion = start + speeds.service(target, sizes[i]);
+        free_at[target] = completion;
+        collector.record(JobRecord {
+            id: jobs[i].id,
+            arrival: now,
+            size: sizes[i],
+            start,
+            completion,
+            host: target,
+        });
+    }
+}
+
+/// The fused static loop: `lanes` independent replications advance in
+/// lockstep by job index. Lane `r` reads `traces[r]`, draws from
+/// `rngs[r]`, updates its own host bank `free_at[r*h..(r+1)*h]`, and
+/// records into `collectors[r]` — per-lane arithmetic is byte-for-byte
+/// the solo kernel's, interleaved only at the instruction level, so the
+/// CPU overlaps the lanes' dependent accumulator chains.
+// dses-lint: deny(alloc)
+fn run_fused_static<S, F>(
+    traces: &[&Trace],
+    speeds: &S,
+    mut select: F,
+    rngs: &mut [Rng64],
+    free_at: &mut [f64],
+    collectors: &mut [Collector],
+) where
+    S: SpeedModel,
+    F: FnMut(usize, f64, &mut Rng64) -> usize,
+{
+    let hosts = speeds.hosts();
+    let n = traces[0].len();
+    for i in 0..n {
+        for (r, trace) in traces.iter().enumerate() {
+            // dses-lint: allow(no-alloc-transitive) -- Trace::arrivals borrows; the allocating name-match is WorkloadBuilder::arrivals
+            let now = trace.arrivals()[i];
+            let size = trace.sizes()[i];
+            let target = select(r, size, &mut rngs[r]);
+            let bank = &mut free_at[r * hosts..(r + 1) * hosts];
+            let start = now.max(bank[target]);
+            let completion = start + speeds.service(target, size);
+            bank[target] = completion;
+            collectors[r].record(JobRecord {
+                id: trace.jobs()[i].id,
+                arrival: now,
+                size,
+                start,
+                completion,
+                host: target,
+            });
+        }
+    }
+}
+
+/// [`run_fused_static`]'s least-work-left sibling: the per-lane argmin
+/// scans only that lane's bank.
+// dses-lint: deny(alloc)
+fn run_fused_work_left<S: SpeedModel>(
+    traces: &[&Trace],
+    speeds: &S,
+    free_at: &mut [f64],
+    collectors: &mut [Collector],
+) {
+    let hosts = speeds.hosts();
+    let n = traces[0].len();
+    for i in 0..n {
+        for (r, trace) in traces.iter().enumerate() {
+            // dses-lint: allow(no-alloc-transitive) -- Trace::arrivals borrows; the allocating name-match is WorkloadBuilder::arrivals
+            let now = trace.arrivals()[i];
+            let bank = &mut free_at[r * hosts..(r + 1) * hosts];
+            let target = argmin_work_left(bank, now);
+            let start = now.max(bank[target]);
+            let completion = start + speeds.service(target, trace.sizes()[i]);
+            bank[target] = completion;
+            collectors[r].record(JobRecord {
+                id: trace.jobs()[i].id,
+                arrival: now,
+                size: trace.sizes()[i],
+                start,
+                completion,
+                host: target,
+            });
+        }
+    }
+}
+
+/// Run `traces.len()` replications — lane `r` simulates `traces[r]`
+/// under `policies[r]` with `seeds[r]` and `cfgs[r]` on `hosts`
+/// unit-speed hosts — reusing this thread's workspace. See
+/// [`simulate_dispatch_fused_into`].
+#[must_use]
+pub fn simulate_dispatch_fused<P: Dispatcher>(
+    traces: &[&Trace],
+    hosts: usize,
+    policies: &mut [P],
+    seeds: &[u64],
+    cfgs: &[MetricsConfig],
+) -> Vec<SimResult> {
+    with_thread_workspace(|ws| {
+        let mut out = Vec::new();
+        simulate_dispatch_fused_into(traces, hosts, policies, seeds, cfgs, ws, &mut out);
+        out
+    })
+}
+
+/// Replication fusion: run `traces.len()` independent replications in
+/// one pass when every lane declares the same [`DispatchKernel`], and
+/// lane-by-lane through [`simulate_dispatch_into`]'s loops otherwise.
+///
+/// Either way, lane `r`'s schedule and metrics are **bit-identical** to
+/// a solo `simulate_dispatch_into(traces[r], hosts, &mut policies[r],
+/// seeds[r], cfgs[r], …)` call: the fused pass advances all lanes in
+/// lockstep by job index, but each lane owns its host bank
+/// (`free_at[r*h..(r+1)*h]`), RNG stream, kernel cursor, and collector,
+/// so no arithmetic crosses lanes — only the instruction stream is
+/// shared. Fusion is a throughput device: a solo run's critical path is
+/// one chain of dependent accumulator updates per job, and interleaving
+/// R independent replications gives the out-of-order core R chains to
+/// overlap.
+///
+/// `out` is resized to one [`SimResult`] per lane; after a warm-up call
+/// of the same shape the steady state performs zero heap allocations.
+///
+/// # Panics
+/// Panics if the slice lengths disagree, `hosts == 0`, or the traces
+/// differ in length.
+// dses-lint: deny(alloc)
+pub fn simulate_dispatch_fused_into<P: Dispatcher>(
+    traces: &[&Trace],
+    hosts: usize,
+    policies: &mut [P],
+    seeds: &[u64],
+    cfgs: &[MetricsConfig],
+    ws: &mut SimWorkspace,
+    out: &mut Vec<SimResult>,
+) {
+    let lanes = traces.len();
+    assert_eq!(policies.len(), lanes, "one policy per lane");
+    assert_eq!(seeds.len(), lanes, "one seed per lane");
+    assert_eq!(cfgs.len(), lanes, "one metrics config per lane");
+    assert!(hosts > 0, "need at least one host");
+    out.truncate(lanes);
+    while out.len() < lanes {
+        // dses-lint: allow(no-alloc-transitive) -- grow-once: result slots persist across fused calls
+        out.push(SimResult::empty());
+    }
+    if lanes == 0 {
+        return;
+    }
+    let n = traces[0].len();
+    assert!(
+        traces.iter().all(|t| t.len() == n),
+        "fused lanes need equal-length traces"
+    );
+
+    // Classify the lanes' common kernel signature (kind + cutoff
+    // stride). Heterogeneous or opaque lanes run sequentially through
+    // the same specialized engine — bit-identical, just unfused.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum FusedKind {
+        Random,
+        RoundRobin,
+        Sita,
+        WorkLeft,
+    }
+    fn classify<P: Dispatcher>(p: &P, hosts: usize) -> Option<(FusedKind, usize)> {
+        match (p.dispatch_kernel(), p.state_needs()) {
+            (DispatchKernel::UniformRandom, n) if n == StateNeeds::NOTHING => {
+                Some((FusedKind::Random, 0))
+            }
+            (DispatchKernel::RoundRobin, n) if n == StateNeeds::NOTHING => {
+                Some((FusedKind::RoundRobin, 0))
+            }
+            (DispatchKernel::SizeInterval(c), n) if n == StateNeeds::NOTHING && c.len() < hosts => {
+                Some((FusedKind::Sita, c.len()))
+            }
+            (DispatchKernel::LeastWorkLeft, n) if n == StateNeeds::WORK_LEFT => {
+                Some((FusedKind::WorkLeft, 0))
+            }
+            _ => None,
+        }
+    }
+    let first = classify(&policies[0], hosts);
+    let homogeneous =
+        first.is_some_and(|sig| policies.iter().all(|p| classify(p, hosts) == Some(sig)));
+    let Some((kind, stride)) = first.filter(|_| homogeneous) else {
+        for r in 0..lanes {
+            run_specialized(
+                traces[r],
+                &UnitSpeeds(hosts),
+                &mut policies[r],
+                seeds[r],
+                cfgs[r],
+                ws,
+                &mut out[r],
+            );
+        }
+        return;
+    };
+
+    // Per-lane engine state: reset() for parity with the solo path, then
+    // engine-owned banks, RNG streams, cursors, and cutoff copies.
+    // dses-lint: allow(no-alloc-transitive) -- grow-once: lane collectors persist in the workspace across fused calls
+    ws.reset_fused(lanes, hosts);
+    for r in 0..lanes {
+        policies[r].reset();
+        // dses-lint: allow(no-alloc-transitive) -- grow-once: lane state reaches the widest lane count and stays
+        ws.lane_rngs.push(Rng64::seed_from(seeds[r]).stream(0xD15));
+        ws.lane_collectors[r].reset(hosts, cfgs[r], n);
+        if kind == FusedKind::Sita {
+            let DispatchKernel::SizeInterval(cuts) = policies[r].dispatch_kernel() else {
+                unreachable!("lane {r} classified as SITA above")
+            };
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: lanes × stride cutoff scratch, reused
+            ws.lane_cutoffs.extend_from_slice(cuts);
+        }
+    }
+
+    let SimWorkspace {
+        free_at,
+        lane_collectors,
+        lane_rngs,
+        lane_counters,
+        lane_cutoffs,
+        ..
+    } = ws;
+    let collectors = &mut lane_collectors[..lanes];
+    let speeds = UnitSpeeds(hosts);
+    match kind {
+        FusedKind::Random => run_fused_static(
+            traces,
+            &speeds,
+            |_, _, rng: &mut Rng64| rng.below(hosts as u64) as usize,
+            lane_rngs,
+            free_at,
+            collectors,
+        ),
+        FusedKind::RoundRobin => run_fused_static(
+            traces,
+            &speeds,
+            |r, _, _: &mut Rng64| {
+                // `next % hosts` under the invariant `next < hosts`
+                let t = lane_counters[r];
+                lane_counters[r] = if t + 1 == hosts { 0 } else { t + 1 };
+                t
+            },
+            lane_rngs,
+            free_at,
+            collectors,
+        ),
+        FusedKind::Sita => run_fused_static(
+            traces,
+            &speeds,
+            |r, size, _: &mut Rng64| {
+                // branchless prefix count ≡ partition_point, per lane
+                lane_cutoffs[r * stride..(r + 1) * stride]
+                    .iter()
+                    .map(|&c| usize::from(size > c))
+                    .sum()
+            },
+            lane_rngs,
+            free_at,
+            collectors,
+        ),
+        FusedKind::WorkLeft => run_fused_work_left(traces, &speeds, free_at, collectors),
+    }
+    for (r, slot) in out.iter_mut().enumerate() {
+        collectors[r].finish_into(slot);
+    }
 }
 
 #[cfg(test)]
@@ -722,6 +1207,111 @@ mod tests {
             ..MetricsConfig::default()
         });
         assert_eq!(a.records.unwrap(), b.records.unwrap());
+    }
+
+    /// Scalar reference for the chunked argmin: `min_by(total_cmp)` over
+    /// the clamped backlog keeps the *first* minimum, which is the
+    /// leftmost-tie-wins contract the dispatch policies rely on.
+    fn argmin_ref(free_at: &[f64], now: f64) -> usize {
+        free_at
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (i, (f - now).max(0.0)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+            .0
+    }
+
+    #[test]
+    fn argmin_all_equal_picks_host_zero() {
+        // every length from 1 to well past several full chunks, with the
+        // tie both at a positive backlog and at the clamped-to-zero floor
+        for n in 1..=4 * ARGMIN_LANES + 3 {
+            let positive = vec![7.5; n];
+            assert_eq!(argmin_work_left(&positive, 2.0), 0, "n = {n}, positive tie");
+            // free_at entirely in the past: every backlog clamps to +0.0
+            let idle = vec![1.0; n];
+            assert_eq!(argmin_work_left(&idle, 5.0), 0, "n = {n}, clamped tie");
+        }
+    }
+
+    #[test]
+    fn argmin_ties_at_lane_boundaries() {
+        // minimum duplicated exactly at the seams the chunked scan could
+        // mishandle: last lane of chunk c vs first lane of chunk c+1
+        let n = 3 * ARGMIN_LANES;
+        for &(a, b) in &[(7, 8), (15, 16), (0, ARGMIN_LANES), (ARGMIN_LANES - 1, 2 * ARGMIN_LANES - 1)] {
+            let mut free_at = vec![100.0; n];
+            free_at[a] = 3.0;
+            free_at[b] = 3.0;
+            assert_eq!(argmin_work_left(&free_at, 1.0), a, "tie at ({a}, {b})");
+            assert_eq!(argmin_ref(&free_at, 1.0), a, "reference disagrees at ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn argmin_ties_straddling_the_chunk_remainder() {
+        // length 2·LANES + 3: two full chunks plus a scalar tail
+        let n = 2 * ARGMIN_LANES + 3;
+        // tie between a chunked index and a tail index: chunk wins
+        let mut free_at = vec![50.0; n];
+        free_at[ARGMIN_LANES + 2] = 4.0;
+        free_at[n - 1] = 4.0;
+        assert_eq!(argmin_work_left(&free_at, 0.0), ARGMIN_LANES + 2);
+        // tie entirely inside the tail: earlier tail index wins
+        let mut free_at = vec![50.0; n];
+        free_at[n - 3] = 4.0;
+        free_at[n - 2] = 4.0;
+        assert_eq!(argmin_work_left(&free_at, 0.0), n - 3);
+        // minimum only in the tail must still beat every chunked lane
+        let mut free_at = vec![50.0; n];
+        free_at[n - 1] = 4.0;
+        assert_eq!(argmin_work_left(&free_at, 0.0), n - 1);
+    }
+
+    #[test]
+    fn argmin_matches_scalar_reference_on_random_tie_heavy_inputs() {
+        // Pseudo-random free_at drawn from a tiny value set so ties are
+        // dense, swept across now values that clamp none/some/all of the
+        // backlog to +0.0. Inputs are NaN-free by construction (the
+        // engines only ever store finite arrival + service sums), so this
+        // also pins total_cmp ≡ < on the kernel's actual domain.
+        let mut rng = Rng64::seed_from(0xA57);
+        let values = [0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 40.0];
+        for n in 1..=5 * ARGMIN_LANES + 5 {
+            for _ in 0..20 {
+                let free_at: Vec<f64> = (0..n)
+                    .map(|_| values[rng.below(values.len() as u64) as usize])
+                    .collect();
+                for &now in &[0.0, 1.0, 2.5, 100.0] {
+                    assert_eq!(
+                        argmin_work_left(&free_at, now),
+                        argmin_ref(&free_at, now),
+                        "n = {n}, now = {now}, free_at = {free_at:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_heterogeneous_lanes_fall_back_bit_identically() {
+        // ToZero exposes no kernel, so a fused call over it must take the
+        // sequential fallback and still match solo runs lane-for-lane.
+        let t0 = trace(&[(0.0, 3.0), (1.0, 1.0), (1.5, 2.0)]);
+        let t1 = trace(&[(0.0, 5.0), (0.5, 0.5), (2.0, 4.0)]);
+        let cfg = MetricsConfig {
+            collect_records: true,
+            ..MetricsConfig::default()
+        };
+        let mut lanes: Vec<Box<dyn Dispatcher>> = vec![Box::new(ToZero), Box::new(MiniLwl)];
+        let fused = simulate_dispatch_fused(&[&t0, &t1], 2, &mut lanes, &[3, 4], &[cfg, cfg]);
+        let solo0 = simulate_dispatch(&t0, 2, &mut ToZero, 3, cfg);
+        let solo1 = simulate_dispatch(&t1, 2, &mut MiniLwl, 4, cfg);
+        assert_eq!(fused[0].records, solo0.records);
+        assert_eq!(fused[0].slowdown, solo0.slowdown);
+        assert_eq!(fused[1].records, solo1.records);
+        assert_eq!(fused[1].slowdown, solo1.slowdown);
     }
 }
 

@@ -122,6 +122,41 @@ impl std::ops::BitOr for StateNeeds {
     }
 }
 
+/// An engine-recognised closed form of a dispatcher's decision rule.
+///
+/// [`Dispatcher::dispatch_kernel`] lets a policy *declare* that its
+/// `dispatch` is one of a few fixed formulas the fast engine knows how to
+/// inline — replacing the per-job virtual call with branchless
+/// straight-line code and enabling replication fusion. The contract: the
+/// declared kernel must be **observationally identical** to `dispatch` —
+/// the same host for every job *and* the same RNG consumption — starting
+/// from the freshly [`Dispatcher::reset`] policy. The engine maintains
+/// the kernel's running state (e.g. the round-robin cursor) itself and
+/// may leave the policy's own fields untouched, so policies must
+/// re-initialise fully in `reset` rather than rely on post-run state.
+///
+/// Declaring a kernel that disagrees with `dispatch` desynchronises the
+/// specialized engine from the reference engines; the cross-engine
+/// identity gates (`tests/kernels.rs`, `perf_report`) catch it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchKernel<'a> {
+    /// No closed form — the engine calls [`Dispatcher::dispatch`].
+    Opaque,
+    /// `rng.below(hosts)`: uniformly random host, one draw per job.
+    UniformRandom,
+    /// Cyclic `0, 1, …, hosts−1, 0, …` starting at host 0; no RNG.
+    RoundRobin,
+    /// Size-interval split: the target is
+    /// `cutoffs.partition_point(|c| size > c)` over strictly increasing
+    /// cutoffs (host `i` serves sizes in `(cutoffs[i−1], cutoffs[i]]`);
+    /// no RNG. `cutoffs.len()` must be `< hosts` for every size to map
+    /// to a valid host.
+    SizeInterval(&'a [f64]),
+    /// [`SystemState::least_work`]: least unfinished work, ties to the
+    /// lowest host index; no RNG.
+    LeastWorkLeft,
+}
+
 /// A task-assignment policy that picks a host the moment a job arrives.
 ///
 /// Implementations live in `dses-core`; the engine hands them the job,
@@ -147,6 +182,38 @@ pub trait Dispatcher {
     /// reads yields views with stale zeros in the undeclared fields.
     fn state_needs(&self) -> StateNeeds {
         StateNeeds::ALL
+    }
+
+    /// The closed-form [`DispatchKernel`] this policy's `dispatch`
+    /// implements, if any.
+    ///
+    /// The default (`Opaque`) is always correct; declaring a kernel lets
+    /// the fast engine inline the decision rule and fuse replications.
+    /// See [`DispatchKernel`] for the exact contract.
+    fn dispatch_kernel(&self) -> DispatchKernel<'_> {
+        DispatchKernel::Opaque
+    }
+}
+
+/// Boxed dispatchers forward every method to the inner policy, so
+/// `Box<dyn Dispatcher>` (and slices of boxes, as replication fusion
+/// runs) expose the inner policy's declarations instead of the trait
+/// defaults.
+impl<P: Dispatcher + ?Sized> Dispatcher for Box<P> {
+    fn dispatch(&mut self, job: &Job, state: &SystemState<'_>, rng: &mut Rng64) -> usize {
+        (**self).dispatch(job, state, rng)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+    fn state_needs(&self) -> StateNeeds {
+        (**self).state_needs()
+    }
+    fn dispatch_kernel(&self) -> DispatchKernel<'_> {
+        (**self).dispatch_kernel()
     }
 }
 

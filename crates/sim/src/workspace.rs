@@ -31,7 +31,8 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::event::EventWorkspace;
 use crate::fast::OrdF64;
 use crate::metrics::{Collector, MetricsConfig};
-use crate::state::HostView;
+use crate::state::{HostView, StateNeeds};
+use dses_dist::Rng64;
 
 /// Every buffer the simulation engines need, owned long-term.
 ///
@@ -57,6 +58,17 @@ pub struct SimWorkspace {
     pub(crate) collector: Collector,
     /// Event-engine state machines (dispatch + central queue).
     pub(crate) event: EventWorkspace,
+    /// Copy of a recognised SITA kernel's cutoffs, taken so the borrow
+    /// on the policy ends before the engine needs `&mut policy` again.
+    pub(crate) kernel_cutoffs: Vec<f64>,
+    /// One collector per fused replication lane.
+    pub(crate) lane_collectors: Vec<Collector>,
+    /// One policy RNG stream per fused replication lane.
+    pub(crate) lane_rngs: Vec<Rng64>,
+    /// Per-lane round-robin cursors for the fused static kernel.
+    pub(crate) lane_counters: Vec<usize>,
+    /// Per-lane SITA cutoffs, flattened with a fixed stride.
+    pub(crate) lane_cutoffs: Vec<f64>,
 }
 
 impl SimWorkspace {
@@ -71,6 +83,11 @@ impl SimWorkspace {
             heaps: Vec::new(),
             collector: Collector::new(0, MetricsConfig::default()),
             event: EventWorkspace::new(),
+            kernel_cutoffs: Vec::new(),
+            lane_collectors: Vec::new(),
+            lane_rngs: Vec::new(),
+            lane_counters: Vec::new(),
+            lane_cutoffs: Vec::new(),
         }
     }
 
@@ -78,7 +95,14 @@ impl SimWorkspace {
     /// allocations. `backlog` pre-sizes the per-host completion
     /// containers (callers pass [`dses_workload::Trace::backlog_hint`],
     /// which scales with jobs-per-host instead of the old fixed 32).
-    pub(crate) fn reset_fast(&mut self, hosts: usize, backlog: usize) {
+    ///
+    /// `needs` is the policy's declaration: only the containers the
+    /// matching hot loop actually maintains are (re)shaped. A static or
+    /// work-left run on `h = 1024` therefore never materialises 1024
+    /// FIFO deques and completion heaps it would not touch — the stale
+    /// ones from an earlier queue-aware run are left as-is (never read)
+    /// and cleared again the next time a loop needs them.
+    pub(crate) fn reset_fast(&mut self, hosts: usize, backlog: usize, needs: StateNeeds) {
         self.free_at.clear();
         self.free_at.resize(hosts, 0.0);
         self.views.clear();
@@ -89,23 +113,48 @@ impl SimWorkspace {
                 work_left: 0.0,
             },
         );
-        // shrink the per-host lists only by truncation — capacity stays
-        for fifo in &mut self.fifos {
-            fifo.clear();
+        if needs.needs_queue_len() && !needs.needs_work_left() {
+            // queue-length loop: FIFO deques + the expiry tournament heap
+            // shrink the per-host lists only by truncation — capacity stays
+            for fifo in &mut self.fifos {
+                fifo.clear();
+            }
+            self.fifos.truncate(hosts);
+            while self.fifos.len() < hosts {
+                // dses-lint: allow(no-alloc-transitive) -- grow-once: fifos grow on a workspace's first run of a shape, then reused
+                self.fifos.push(VecDeque::with_capacity(backlog));
+            }
+            self.expiry.clear();
+            self.expiry.reserve(hosts.saturating_sub(self.expiry.capacity()));
         }
-        self.fifos.truncate(hosts);
-        while self.fifos.len() < hosts {
-            // dses-lint: allow(no-alloc-transitive) -- grow-once: fifos grow on a workspace's first run of a shape, then reused
-            self.fifos.push(VecDeque::with_capacity(backlog));
+        if needs.needs_queue_len() && needs.needs_work_left() {
+            // full reference loop: per-host completion min-heaps
+            for heap in &mut self.heaps {
+                heap.clear();
+            }
+            self.heaps.truncate(hosts);
+            while self.heaps.len() < hosts {
+                self.heaps.push(BinaryHeap::with_capacity(backlog));
+            }
         }
-        self.expiry.clear();
-        self.expiry.reserve(hosts.saturating_sub(self.expiry.capacity()));
-        for heap in &mut self.heaps {
-            heap.clear();
-        }
-        self.heaps.truncate(hosts);
-        while self.heaps.len() < hosts {
-            self.heaps.push(BinaryHeap::with_capacity(backlog));
+    }
+
+    /// Reset the fused-replication state: `lanes` interleaved host banks
+    /// of `hosts` Lindley scalars each (`free_at[r*hosts..(r+1)*hosts]`
+    /// is lane `r`'s bank), plus per-lane cursors. Lane RNGs, cutoffs,
+    /// and collector configs are filled in by the fused entry point; the
+    /// collectors themselves persist here so their buffers are reused
+    /// across calls.
+    pub(crate) fn reset_fused(&mut self, lanes: usize, hosts: usize) {
+        self.free_at.clear();
+        self.free_at.resize(lanes * hosts, 0.0);
+        self.lane_rngs.clear();
+        self.lane_counters.clear();
+        self.lane_counters.resize(lanes, 0);
+        self.lane_cutoffs.clear();
+        while self.lane_collectors.len() < lanes {
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: one collector per lane, reused across fused calls
+            self.lane_collectors.push(Collector::new(0, MetricsConfig::default()));
         }
     }
 }
@@ -142,29 +191,61 @@ mod tests {
     #[test]
     fn reset_fast_shapes_buffers() {
         let mut ws = SimWorkspace::new();
-        ws.reset_fast(3, 64);
+        ws.reset_fast(3, 64, StateNeeds::QUEUE_LEN);
         assert_eq!(ws.free_at, vec![0.0; 3]);
         assert_eq!(ws.views.len(), 3);
         assert_eq!(ws.fifos.len(), 3);
-        assert_eq!(ws.heaps.len(), 3);
         assert!(ws.fifos[0].capacity() >= 64);
+        ws.reset_fast(3, 64, StateNeeds::ALL);
+        assert_eq!(ws.heaps.len(), 3);
         // shrink then regrow: contents always start clean
         ws.free_at[1] = 7.0;
         ws.fifos[2].push_back(1.0);
         ws.heaps[0].push(Reverse(OrdF64(2.0)));
-        ws.reset_fast(2, 64);
+        ws.reset_fast(2, 64, StateNeeds::QUEUE_LEN);
         assert_eq!(ws.free_at, vec![0.0; 2]);
         assert!(ws.fifos.iter().all(VecDeque::is_empty));
+        ws.reset_fast(2, 64, StateNeeds::ALL);
         assert!(ws.heaps.iter().all(BinaryHeap::is_empty));
-        ws.reset_fast(5, 64);
+        ws.reset_fast(5, 64, StateNeeds::QUEUE_LEN);
         assert_eq!(ws.free_at.len(), 5);
         assert_eq!(ws.fifos.len(), 5);
     }
 
     #[test]
+    fn needs_aware_reset_skips_unused_containers() {
+        // a static run on many hosts must not materialise per-host
+        // deques/heaps — that is what lets h=1024 sweeps stay lean
+        let mut ws = SimWorkspace::new();
+        ws.reset_fast(1024, 32, StateNeeds::NOTHING);
+        assert_eq!(ws.free_at.len(), 1024);
+        assert_eq!(ws.views.len(), 1024);
+        assert!(ws.fifos.is_empty());
+        assert!(ws.heaps.is_empty());
+        ws.reset_fast(1024, 32, StateNeeds::WORK_LEFT);
+        assert!(ws.fifos.is_empty());
+        assert!(ws.heaps.is_empty());
+    }
+
+    #[test]
+    fn reset_fused_shapes_lane_banks() {
+        let mut ws = SimWorkspace::new();
+        ws.reset_fused(3, 4);
+        assert_eq!(ws.free_at, vec![0.0; 12]);
+        assert_eq!(ws.lane_counters, vec![0; 3]);
+        assert!(ws.lane_collectors.len() >= 3);
+        // poison, then reset to a smaller shape: banks start clean
+        ws.free_at[5] = 9.0;
+        ws.lane_counters[1] = 7;
+        ws.reset_fused(2, 2);
+        assert_eq!(ws.free_at, vec![0.0; 4]);
+        assert_eq!(ws.lane_counters, vec![0; 2]);
+    }
+
+    #[test]
     fn thread_workspace_is_reused() {
         let first = with_thread_workspace(|ws| {
-            ws.reset_fast(4, 32);
+            ws.reset_fast(4, 32, StateNeeds::ALL);
             std::ptr::from_ref(&*ws) as usize
         });
         let second = with_thread_workspace(|ws| {
@@ -177,7 +258,7 @@ mod tests {
     #[test]
     fn reentrant_use_gets_a_fresh_temporary() {
         with_thread_workspace(|outer| {
-            outer.reset_fast(2, 32);
+            outer.reset_fast(2, 32, StateNeeds::ALL);
             with_thread_workspace(|inner| {
                 assert_eq!(inner.free_at.len(), 0, "inner must not alias outer");
             });
