@@ -263,6 +263,13 @@ pub struct Collector {
     percentiles: Option<QuantileSet>,
     slo_violations: u64,
     records: Option<Vec<JobRecord>>,
+    /// `inv_n[k] = 1.0 / (k + 1)` for the first `expected_jobs` counts —
+    /// the same single IEEE divide [`Collector::record_with_inv`] would
+    /// issue per job, precomputed once at reset so the steady-state
+    /// record path performs **zero** divides. Grow-once: reset extends
+    /// but never shrinks, and counts past the table fall back to the
+    /// live divide (bitwise the same value).
+    inv_n: Vec<f64>,
 }
 
 impl Collector {
@@ -297,6 +304,7 @@ impl Collector {
             percentiles: cfg.slowdown_percentiles.then(QuantileSet::default),
             slo_violations: 0,
             records: cfg.collect_records.then(|| Vec::with_capacity(expected_jobs)),
+            inv_n: (0..expected_jobs).map(|k| 1.0 / (k + 1) as f64).collect(),
         }
     }
 
@@ -350,6 +358,10 @@ impl Collector {
         } else {
             self.records = None;
         }
+        if self.inv_n.len() < expected_jobs {
+            // dses-lint: allow(no-alloc-transitive) -- grow-once: the reciprocal table only extends when a larger trace arrives
+            self.inv_n.extend((self.inv_n.len()..expected_jobs).map(|k| 1.0 / (k + 1) as f64));
+        }
     }
 
     /// Record one completed job.
@@ -361,15 +373,38 @@ impl Collector {
     /// flops, bounds the specialized kernels (see DESIGN.md §11).
     #[inline]
     pub fn record(&mut self, rec: JobRecord) {
+        self.record_with_inv(rec, 1.0 / rec.size);
+    }
+
+    /// [`Collector::record`] with the caller supplying `1.0 / rec.size`.
+    ///
+    /// The fast-engine kernels stream `Trace::inv_sizes`, where the
+    /// reciprocal was computed once at trace construction — the same
+    /// single IEEE divide this method would otherwise issue per job, so
+    /// results are bitwise unchanged (a `debug_assert` pins the bit
+    /// pattern). This takes the metrics path to one divide per job.
+    #[inline]
+    pub fn record_with_inv(&mut self, rec: JobRecord, inv_size: f64) {
         debug_assert!(rec.start >= rec.arrival, "service before arrival");
         debug_assert!(rec.completion >= rec.start, "negative service");
+        debug_assert_eq!(
+            inv_size.to_bits(),
+            (1.0 / rec.size).to_bits(),
+            "inv_size must be the bitwise reciprocal of rec.size"
+        );
         self.makespan = self.makespan.max(rec.completion);
         self.seen += 1;
         if self.seen <= self.cfg.warmup_jobs as u64 {
             return;
         }
-        let inv_n = 1.0 / (self.slowdown.count() + 1) as f64;
-        let inv_size = 1.0 / rec.size;
+        let count = self.slowdown.count() as usize;
+        // Table hit in every engine run (reset sizes it to the trace);
+        // the fallback divide computes the identical bit pattern for
+        // hand-built collectors that outgrow their hint.
+        let inv_n = match self.inv_n.get(count) {
+            Some(&v) => v,
+            None => 1.0 / (count + 1) as f64,
+        };
         let response = rec.completion - rec.arrival;
         let waiting = rec.start - rec.arrival;
         let s = response * inv_size;
@@ -588,6 +623,26 @@ mod tests {
         c.record(rec(0, 0.0, 1.0, 0.0, 0));
         let r = c.finish();
         assert_eq!(r.records.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn record_with_inv_matches_record_bitwise() {
+        let jobs = [(0.0, 3.0, 1.5), (1.0, 7.0, 2.0), (2.5, 0.5, 4.0)];
+        let mut plain = Collector::new(1, MetricsConfig::default());
+        let mut with_inv = Collector::new(1, MetricsConfig::default());
+        for (i, &(arrival, size, start)) in jobs.iter().enumerate() {
+            let r = rec(i as u64, arrival, size, start, 0);
+            plain.record(r);
+            with_inv.record_with_inv(r, 1.0 / size);
+        }
+        let a = plain.finish();
+        let b = with_inv.finish();
+        assert_eq!(a.slowdown.mean.to_bits(), b.slowdown.mean.to_bits());
+        assert_eq!(a.slowdown.variance.to_bits(), b.slowdown.variance.to_bits());
+        assert_eq!(
+            a.queueing_slowdown.mean.to_bits(),
+            b.queueing_slowdown.mean.to_bits()
+        );
     }
 
     #[test]

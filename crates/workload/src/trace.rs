@@ -7,16 +7,20 @@ use dses_dist::Summary;
 /// An arrival-ordered job trace.
 ///
 /// Alongside the array-of-structs job list, the trace keeps
-/// structure-of-arrays copies of the arrival times and sizes: the
-/// simulation hot loops stream through those two contiguous `f64` slices
-/// (one cache line holds 8 jobs' worth of each) instead of striding
-/// across 24-byte [`Job`] records. Every constructor funnels through
-/// [`Trace::new`], so the views can never fall out of sync.
+/// structure-of-arrays copies of the arrival times, sizes, and reciprocal
+/// sizes: the simulation hot loops stream through those contiguous `f64`
+/// slices (one cache line holds 8 jobs' worth of each) instead of
+/// striding across 24-byte [`Job`] records. The reciprocals turn the
+/// per-job `1/size` slowdown divide in the metrics path into a load —
+/// `1.0 / size` is one IEEE operation, so computing it once here is
+/// bit-identical to computing it per record. Every constructor funnels
+/// through [`Trace::new`], so the views can never fall out of sync.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     jobs: Vec<Job>,
     arrivals: Vec<f64>,
     sizes: Vec<f64>,
+    inv_sizes: Vec<f64>,
 }
 
 impl Trace {
@@ -29,8 +33,9 @@ impl Trace {
             j.id = i as u64;
         }
         let arrivals = jobs.iter().map(|j| j.arrival).collect();
-        let sizes = jobs.iter().map(|j| j.size).collect();
-        Self { jobs, arrivals, sizes }
+        let sizes: Vec<f64> = jobs.iter().map(|j| j.size).collect();
+        let inv_sizes = sizes.iter().map(|&s| 1.0 / s).collect();
+        Self { jobs, arrivals, sizes, inv_sizes }
     }
 
     /// The jobs, in arrival order.
@@ -110,6 +115,15 @@ impl Trace {
     #[must_use]
     pub fn sizes(&self) -> &[f64] {
         &self.sizes
+    }
+
+    /// The reciprocal job sizes (`1.0 / size`) in arrival order,
+    /// precomputed once at construction so the metrics hot path replaces
+    /// its per-job slowdown divide with a load. Bitwise equal to
+    /// `1.0 / sizes()[i]` by construction.
+    #[must_use]
+    pub fn inv_sizes(&self) -> &[f64] {
+        &self.inv_sizes
     }
 
     /// Split into (first half, second half) by arrival order — the paper
@@ -255,6 +269,15 @@ mod tests {
         assert_eq!(s.count(), 3);
         assert!((s.mean() - 2.0).abs() < 1e-12);
         assert!(s.scv().abs() < 1e-12); // perfectly regular
+    }
+
+    #[test]
+    fn inv_sizes_are_bitwise_reciprocals() {
+        let t = toy();
+        assert_eq!(t.inv_sizes().len(), t.len());
+        for (&s, &inv) in t.sizes().iter().zip(t.inv_sizes()) {
+            assert_eq!(inv.to_bits(), (1.0 / s).to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Bit-identity gates for the two-phase segmented static kernel.
+//!
+//! The segmented path precomputes every host choice, partitions jobs by
+//! host, runs one independent Lindley chain per segment, and replays the
+//! metrics in arrival order (DESIGN.md §12). None of that is allowed to
+//! change a single bit of any schedule or metric: every test here pins
+//! `SegmentedMode::Force` against `SegmentedMode::Never`, the plain
+//! `Auto` entry point, and (where tractable) the event engine,
+//! record for record.
+//!
+//! The adversarial shapes target the sort-and-sweep machinery
+//! specifically: a single host (one maximal segment per block), every
+//! job on one host of many (one maximal segment plus `h − 1` empty
+//! ones), host counts that dwarf the block, and traces spanning several
+//! blocks so `free_at` must carry chains across block boundaries.
+
+use dses_core::policies::SizeInterval;
+use dses_core::spec::{BuiltPolicy, PolicySpec};
+use dses_sim::metrics::JobRecord;
+use dses_sim::{
+    simulate_dispatch, simulate_dispatch_fused_mode_into, simulate_dispatch_segmented,
+    simulate_dispatch_unsegmented_into, Dispatcher, EventEngine, MetricsConfig, SegmentedMode,
+    SimResult, SimWorkspace,
+};
+use dses_workload::{Job, Trace};
+
+fn records_cfg() -> MetricsConfig {
+    MetricsConfig {
+        collect_records: true,
+        ..MetricsConfig::default()
+    }
+}
+
+fn build(spec: &PolicySpec, lambda: f64, hosts: usize) -> Box<dyn Dispatcher> {
+    let d = dses_workload::psc_c90().size_dist;
+    match spec.build(&d, lambda, hosts).unwrap() {
+        BuiltPolicy::Dispatch(p) => p,
+        BuiltPolicy::Central(_) => unreachable!("roster is dispatch-only"),
+    }
+}
+
+fn sorted(mut records: Vec<JobRecord>) -> Vec<JobRecord> {
+    records.sort_by_key(|r| r.id);
+    records
+}
+
+/// Run `policy` (rebuilt per engine) through the forced-segmented,
+/// forced-direct, and plain entry points and assert all three schedules
+/// and aggregates are bitwise identical.
+fn assert_segmented_identical(
+    trace: &Trace,
+    hosts: usize,
+    mut fresh: impl FnMut() -> Box<dyn Dispatcher>,
+    seed: u64,
+) -> SimResult {
+    let mut p = fresh();
+    let seg = simulate_dispatch_segmented(trace, hosts, p.as_mut(), seed, records_cfg());
+    let mut p = fresh();
+    let auto = simulate_dispatch(trace, hosts, p.as_mut(), seed, records_cfg());
+    let mut p = fresh();
+    let mut ws = SimWorkspace::new();
+    let mut direct = SimResult::empty();
+    simulate_dispatch_unsegmented_into(
+        trace,
+        hosts,
+        p.as_mut(),
+        seed,
+        records_cfg(),
+        &mut ws,
+        &mut direct,
+    );
+    assert_eq!(
+        seg.records, direct.records,
+        "segmented schedule diverged from the direct kernel at h={hosts}"
+    );
+    assert_eq!(
+        seg.records, auto.records,
+        "Auto entry point diverged at h={hosts}"
+    );
+    assert_eq!(seg.slowdown, direct.slowdown, "aggregates diverged at h={hosts}");
+    assert_eq!(seg.response, direct.response);
+    assert_eq!(seg.waiting, direct.waiting);
+    assert_eq!(seg.per_host, direct.per_host);
+    assert_eq!(seg.makespan.to_bits(), direct.makespan.to_bits());
+    seg
+}
+
+/// Segmented ≡ direct ≡ event engine for every closed-form static
+/// policy at h ∈ {2, 8, 64, 1024} across two loads. SITA runs from
+/// solved SITA-E cutoffs up to h = 64 and from a synthetic geometric
+/// cutoff ladder at h = 1024 (1023 cutoffs — deep into the
+/// binary-search host lookup) so the widest case stays solver-free.
+#[test]
+fn segmented_matches_direct_and_event_engine_across_host_counts() {
+    for &hosts in &[2usize, 8, 64, 1024] {
+        for &rho in &[0.5, 0.9] {
+            let trace = dses_workload::psc_c90().trace(5_000, rho, hosts, 11);
+            let lambda = trace.arrival_rate();
+            type Roster = Vec<(String, Box<dyn Fn() -> Box<dyn Dispatcher>>)>;
+            let mut rosters: Roster = vec![
+                (
+                    "Random".into(),
+                    Box::new(move || build(&PolicySpec::Random, lambda, hosts)),
+                ),
+                (
+                    "RoundRobin".into(),
+                    Box::new(move || build(&PolicySpec::RoundRobin, lambda, hosts)),
+                ),
+            ];
+            if hosts <= 64 {
+                rosters.push((
+                    "SITA-E".into(),
+                    Box::new(move || build(&PolicySpec::SitaE, lambda, hosts)),
+                ));
+            } else {
+                // strictly increasing ladder spanning the C90 size range
+                let cuts: Vec<f64> = (1..hosts).map(|i| 500.0 * 1.02f64.powi(i as i32)).collect();
+                rosters.push((
+                    "SITA-wide".into(),
+                    Box::new(move || {
+                        Box::new(SizeInterval::new(cuts.clone(), "SITA-wide"))
+                    }),
+                ));
+            }
+            for (name, fresh) in rosters {
+                let seg = assert_segmented_identical(&trace, hosts, || fresh(), 7);
+                let mut for_event = fresh();
+                let event =
+                    EventEngine::new(hosts, records_cfg()).run_dispatch(&trace, for_event.as_mut(), 7);
+                assert_eq!(
+                    sorted(seg.records.clone().unwrap()),
+                    sorted(event.records.unwrap()),
+                    "{name}: segmented diverged from the event engine at h={hosts}, rho={rho}"
+                );
+            }
+        }
+    }
+}
+
+/// Traces longer than one segmented block: `free_at` must carry every
+/// host's chain across block boundaries (20 000 jobs spans two full
+/// 8192-job blocks plus a partial one).
+#[test]
+fn segmented_carries_chains_across_blocks() {
+    let hosts = 8;
+    let trace = dses_workload::psc_c90().trace(20_000, 0.8, hosts, 23);
+    let lambda = trace.arrival_rate();
+    for spec in [PolicySpec::Random, PolicySpec::RoundRobin, PolicySpec::SitaE] {
+        assert_segmented_identical(&trace, hosts, || build(&spec, lambda, hosts), 3);
+    }
+}
+
+/// Adversarial segment shapes: a single host (every block is one
+/// maximal segment), and SITA cutoff ladders that send every job to the
+/// first or last of 8 hosts (one maximal segment next to seven empty
+/// ones). The empty-segment bookkeeping and the chain interleave must
+/// not perturb a single bit.
+#[test]
+fn segmented_handles_degenerate_segment_shapes() {
+    let single = dses_workload::psc_c90().trace(9_000, 0.6, 1, 31);
+    let lambda = single.arrival_rate();
+    assert_segmented_identical(&single, 1, || build(&PolicySpec::RoundRobin, lambda, 1), 5);
+    assert_segmented_identical(&single, 1, || build(&PolicySpec::Random, lambda, 1), 5);
+
+    let trace = dses_workload::psc_c90().trace(9_000, 0.6, 8, 37);
+    let max_size = trace.sizes().iter().fold(0.0f64, |a, &b| a.max(b));
+    // every cutoff above every size: all jobs land on host 0
+    let above: Vec<f64> = (0..7).map(|i| max_size * (2.0 + i as f64)).collect();
+    assert_segmented_identical(&trace, 8, || {
+        Box::new(SizeInterval::new(above.clone(), "all-to-first"))
+    }, 5);
+    // every cutoff below every size: all jobs land on host 7
+    let min_size = trace.sizes().iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let below: Vec<f64> = (1..=7).map(|i| min_size * i as f64 / 16.0).collect();
+    assert_segmented_identical(&trace, 8, || {
+        Box::new(SizeInterval::new(below.clone(), "all-to-last"))
+    }, 5);
+
+    // more hosts than jobs in the whole trace: almost every segment of
+    // every block is empty
+    let tiny = dses_workload::psc_c90().trace(600, 0.5, 1024, 41);
+    let lambda = tiny.arrival_rate();
+    assert_segmented_identical(&tiny, 1024, || build(&PolicySpec::Random, lambda, 1024), 5);
+}
+
+/// A policy with no closed-form static kernel must fall back inside the
+/// forced-segmented entry point and still match `simulate_dispatch`.
+#[test]
+fn segmented_entry_point_falls_back_for_stateful_policies() {
+    let hosts = 4;
+    let trace = dses_workload::psc_c90().trace(5_000, 0.7, hosts, 13);
+    let lambda = trace.arrival_rate();
+    for spec in [PolicySpec::LeastWorkLeft, PolicySpec::ShortestQueue] {
+        let mut a = build(&spec, lambda, hosts);
+        let seg = simulate_dispatch_segmented(&trace, hosts, a.as_mut(), 9, records_cfg());
+        let mut b = build(&spec, lambda, hosts);
+        let plain = simulate_dispatch(&trace, hosts, b.as_mut(), 9, records_cfg());
+        assert_eq!(seg.records, plain.records, "{} fallback diverged", spec.name());
+        assert_eq!(seg.slowdown, plain.slowdown);
+    }
+}
+
+/// Fused static lanes compose with the segmented split: R ∈ {1, 8}
+/// lanes through the forced-segmented fused pass must be bit-identical
+/// to the forced-direct fused pass *and* to solo segmented runs.
+#[test]
+fn fused_segmented_lanes_match_direct_and_solo_bitwise() {
+    let hosts = 8;
+    for spec in [PolicySpec::Random, PolicySpec::RoundRobin, PolicySpec::SitaE] {
+        for lanes in [1usize, 8] {
+            let traces: Vec<Trace> = (0..lanes)
+                .map(|r| dses_workload::psc_c90().trace(5_000, 0.7, hosts, 300 + r as u64))
+                .collect();
+            let refs: Vec<&Trace> = traces.iter().collect();
+            let lambda = traces[0].arrival_rate();
+            let seeds: Vec<u64> = (0..lanes).map(|r| 70 + r as u64).collect();
+            let cfgs = vec![records_cfg(); lanes];
+
+            let mut ws = SimWorkspace::new();
+            let mut seg = Vec::new();
+            let mut policies: Vec<Box<dyn Dispatcher>> =
+                (0..lanes).map(|_| build(&spec, lambda, hosts)).collect();
+            simulate_dispatch_fused_mode_into(
+                &refs,
+                hosts,
+                &mut policies,
+                &seeds,
+                &cfgs,
+                SegmentedMode::Force,
+                &mut ws,
+                &mut seg,
+            );
+
+            let mut direct = Vec::new();
+            let mut policies: Vec<Box<dyn Dispatcher>> =
+                (0..lanes).map(|_| build(&spec, lambda, hosts)).collect();
+            simulate_dispatch_fused_mode_into(
+                &refs,
+                hosts,
+                &mut policies,
+                &seeds,
+                &cfgs,
+                SegmentedMode::Never,
+                &mut ws,
+                &mut direct,
+            );
+
+            for r in 0..lanes {
+                assert_eq!(
+                    seg[r].records, direct[r].records,
+                    "{} lane {r}/{lanes}: fused-segmented diverged from fused-direct",
+                    spec.name()
+                );
+                assert_eq!(seg[r].slowdown, direct[r].slowdown);
+                let mut solo_policy = build(&spec, lambda, hosts);
+                let solo = simulate_dispatch_segmented(
+                    &traces[r],
+                    hosts,
+                    solo_policy.as_mut(),
+                    seeds[r],
+                    records_cfg(),
+                );
+                assert_eq!(
+                    seg[r].records, solo.records,
+                    "{} lane {r}/{lanes}: fused-segmented diverged from solo",
+                    spec.name()
+                );
+                assert_eq!(seg[r].slowdown, solo.slowdown);
+            }
+        }
+    }
+}
+
+/// End-to-end pin of the wide-SITA host lookup's leftmost semantics:
+/// job sizes placed *exactly on* cutoffs must route identically through
+/// the segmented kernel, the direct kernel, and the policy's own
+/// `host_for` (`partition_point(|&c| size > c)` — a tie stays left).
+#[test]
+fn wide_sita_boundary_sizes_route_with_leftmost_semantics() {
+    let hosts = 64; // 63 cutoffs: the binary-search path
+    let cuts: Vec<f64> = (1..hosts).map(|i| i as f64).collect();
+    let policy = SizeInterval::new(cuts.clone(), "SITA-boundary");
+    // sizes: every cutoff exactly, plus straddles and extremes,
+    // repeated so ties are dense
+    let mut sizes: Vec<f64> = Vec::new();
+    for &c in &cuts {
+        sizes.extend_from_slice(&[c, c, c - 0.5, c + 0.5]);
+    }
+    sizes.extend_from_slice(&[0.25, 1e9]);
+    let jobs: Vec<Job> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Job::new(i as u64, i as f64 * 0.125, s))
+        .collect();
+    let trace = Trace::new(jobs);
+    let seg = assert_segmented_identical(&trace, hosts, || {
+        Box::new(SizeInterval::new(cuts.clone(), "SITA-boundary"))
+    }, 1);
+    for rec in seg.records.unwrap() {
+        assert_eq!(
+            rec.host,
+            policy.host_for(rec.size),
+            "size {} routed to {} but partition_point says {}",
+            rec.size,
+            rec.host,
+            policy.host_for(rec.size)
+        );
+    }
+}

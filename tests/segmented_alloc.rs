@@ -1,0 +1,130 @@
+//! Zero-allocation gate for steady-state segmented sweeps.
+//!
+//! The segmented kernel's scratch (`chosen`, segment offsets/indices,
+//! per-job starts/departs) is workspace-owned and grow-once: after one
+//! warm-up run of a shape, repeated segmented runs through the same
+//! workspace must perform **zero** heap allocations — solo and fused,
+//! including the widest host count, which exercises the largest
+//! offset table.
+//!
+//! This gate lives in its own test binary: the default harness runs a
+//! binary's tests on multiple threads, and any concurrent test would
+//! pollute the global allocation counter.
+
+use dses_core::spec::{BuiltPolicy, PolicySpec};
+use dses_sim::{
+    simulate_dispatch_fused_mode_into, simulate_dispatch_segmented_into, Dispatcher,
+    MetricsConfig, SegmentedMode, SimResult, SimWorkspace,
+};
+use dses_workload::Trace;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pass-through allocator counting every allocation and reallocation.
+struct CountingAlloc;
+
+static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_count_of<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let base = COUNT.load(Ordering::Relaxed);
+    let out = f();
+    (out, COUNT.load(Ordering::Relaxed) - base)
+}
+
+fn build(spec: &PolicySpec, lambda: f64, hosts: usize) -> Box<dyn Dispatcher> {
+    let d = dses_workload::psc_c90().size_dist;
+    match spec.build(&d, lambda, hosts).unwrap() {
+        BuiltPolicy::Dispatch(p) => p,
+        BuiltPolicy::Central(_) => unreachable!("roster is dispatch-only"),
+    }
+}
+
+#[test]
+fn steady_state_segmented_sweeps_do_not_allocate() {
+    let cfg = MetricsConfig::streaming();
+    let mut ws = SimWorkspace::new();
+    let mut out = SimResult::empty();
+
+    // Solo segmented across the host counts the bit gates cover; the
+    // trace spans two blocks so block turnover is part of steady state.
+    for &hosts in &[2usize, 8, 64, 1024] {
+        let trace = dses_workload::psc_c90().trace(12_000, 0.7, hosts, 17);
+        let lambda = trace.arrival_rate();
+        let mut policy = build(&PolicySpec::Random, lambda, hosts);
+        // warm-up run grows every buffer to this shape
+        simulate_dispatch_segmented_into(&trace, hosts, policy.as_mut(), 1, cfg, &mut ws, &mut out);
+        let (_, allocs) = alloc_count_of(|| {
+            for seed in 2..6 {
+                simulate_dispatch_segmented_into(
+                    &trace,
+                    hosts,
+                    policy.as_mut(),
+                    seed,
+                    cfg,
+                    &mut ws,
+                    &mut out,
+                );
+            }
+        });
+        assert_eq!(allocs, 0, "solo segmented allocated in steady state at h={hosts}");
+    }
+
+    // Fused segmented: 8 lanes sharing one flat set of phase buffers.
+    let hosts = 8;
+    let lanes = 8;
+    let traces: Vec<Trace> = (0..lanes)
+        .map(|r| dses_workload::psc_c90().trace(12_000, 0.7, hosts, 900 + r as u64))
+        .collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let lambda = traces[0].arrival_rate();
+    let mut policies: Vec<Box<dyn Dispatcher>> = (0..lanes)
+        .map(|_| build(&PolicySpec::SitaE, lambda, hosts))
+        .collect();
+    let seeds: Vec<u64> = (0..lanes as u64).collect();
+    let cfgs = vec![cfg; lanes];
+    let mut results = Vec::new();
+    simulate_dispatch_fused_mode_into(
+        &refs,
+        hosts,
+        &mut policies,
+        &seeds,
+        &cfgs,
+        SegmentedMode::Force,
+        &mut ws,
+        &mut results,
+    );
+    let (_, allocs) = alloc_count_of(|| {
+        for _ in 0..4 {
+            simulate_dispatch_fused_mode_into(
+                &refs,
+                hosts,
+                &mut policies,
+                &seeds,
+                &cfgs,
+                SegmentedMode::Force,
+                &mut ws,
+                &mut results,
+            );
+        }
+    });
+    assert_eq!(allocs, 0, "fused segmented allocated in steady state");
+}
