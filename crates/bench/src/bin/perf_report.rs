@@ -29,6 +29,11 @@
 //!    direct vector kernel, the scalar loop, and the fused-segmented
 //!    pass, with record-level identity and zero-alloc gates on the
 //!    segmented paths. Written to `BENCH_segmented.json`.
+//! 8. **Collector tiers** — the metrics contract's demand tiers: the
+//!    full record path vs the MEANS-slimmed path vs the block-batched
+//!    merge, with full-demand record identity, MEANS-tier bit identity
+//!    on every demanded field, batched ulp bounds, and zero-alloc gates.
+//!    Written to `BENCH_metrics.json`.
 //!
 //! Run with `cargo run --release -p dses-bench --bin perf_report`
 //! (release strongly recommended: the full grid simulates ~1.4M jobs).
@@ -40,7 +45,8 @@ use dses_bench::harness::{fmt_duration, fmt_rate};
 use dses_bench::load_grid;
 use dses_core::policies::{LeastWorkLeft, RandomPolicy, RoundRobin, ShortestQueue, SizeInterval};
 use dses_core::prelude::*;
-use dses_dist::{BoundedPareto, Distribution, Rng64};
+use dses_core::report::metrics_mode_label;
+use dses_dist::{BoundedPareto, Distribution, Moments, Rng64};
 use dses_queueing::cutoff::{
     sita_e_cutoffs, sita_u_fair_cutoff, sita_u_opt_cutoff, sita_u_opt_cutoffs_multi,
     TruncatedMoments,
@@ -49,7 +55,7 @@ use dses_sim::metrics::JobRecord;
 use dses_sim::{
     available_workers, par_map_indexed, par_map_indexed_scoped, simulate_dispatch,
     simulate_dispatch_fused_into, simulate_dispatch_fused_mode_into, simulate_dispatch_into,
-    simulate_dispatch_segmented_into, simulate_dispatch_unsegmented_into, MetricsConfig,
+    simulate_dispatch_segmented_into, simulate_dispatch_unsegmented_into, Demand, MetricsConfig,
     SegmentedMode, SimResult, SimWorkspace, StateNeeds, SystemState,
 };
 use dses_workload::{Job, Trace};
@@ -1000,6 +1006,215 @@ fn segmented_bench(smoke: bool) -> Vec<SegRow> {
     rows
 }
 
+struct MetricsRow {
+    policy: &'static str,
+    hosts: usize,
+    full_jps: f64,
+    means_jps: f64,
+    batched_jps: f64,
+    identical: bool,
+    ulp_ok: bool,
+    means_allocs: usize,
+    batched_allocs: usize,
+}
+
+/// Bitwise equality of the demanded core of a moment stream: count,
+/// mean, and variance. Extrema are deliberately excluded — the MEANS
+/// tier reports them as deterministic empties.
+fn moments_core_equal(a: &Moments, b: &Moments) -> bool {
+    a.count == b.count
+        && a.mean.to_bits() == b.mean.to_bits()
+        && a.variance.to_bits() == b.variance.to_bits()
+}
+
+/// `value` within `rel` relative error of the scalar reference `against`
+/// (tiny absolute floor so exact-zero streams compare cleanly).
+fn within_rel(value: f64, against: f64, rel: f64) -> bool {
+    let err = (value - against).abs();
+    err <= rel * against.abs().max(1e-300) || err <= 1e-12
+}
+
+/// The documented block-merge contract: counts and extrema exact, mean
+/// within 1e-12 relative, variance within 1e-9 relative of the scalar
+/// Welford stream.
+fn moments_block_close(a: &Moments, b: &Moments) -> bool {
+    a.count == b.count
+        && a.min.to_bits() == b.min.to_bits()
+        && a.max.to_bits() == b.max.to_bits()
+        && within_rel(a.mean, b.mean, 1e-12)
+        && within_rel(a.variance, b.variance, 1e-9)
+}
+
+/// Section 8: the collector's demand tiers — the full record path vs the
+/// MEANS-slimmed path vs the block-batched merge — per static policy at
+/// h = 8 and h = 1024. Three gates: the full-demand tier must stay
+/// record-bitwise identical to the full-state loop, the MEANS tier must
+/// reproduce every demanded field bit-for-bit (undemanded fields read as
+/// deterministic empties), and the batched tier must land inside its
+/// documented ulp bounds (exact counts/extrema/per-host/makespan, mean
+/// within 1e-12, variance within 1e-9). Both slim tiers must also pass
+/// the warmed zero-allocation gate.
+fn metrics_bench(smoke: bool) -> Vec<MetricsRow> {
+    let preset = dses_workload::psc_c90();
+    let jobs = if smoke { 4_000 } else { 400_000 };
+    let id_jobs = if smoke { 4_000 } else { 50_000 };
+    let reps = if smoke { 1 } else { 5 };
+    let count_runs = if smoke { 2 } else { 5 };
+    println!(
+        "collector tiers: {} vs {} (demand-slimmed) vs block-batched, {jobs} jobs, C90 at rho=0.7",
+        metrics_mode_label(MetricsMode::Full),
+        metrics_mode_label(MetricsMode::Means),
+    );
+
+    let full_cfg = MetricsConfig::streaming();
+    let means_cfg = MetricsConfig {
+        demand: Demand::MEANS,
+        ..full_cfg
+    };
+    // timing shape: the batched tier is a throughput knob, so it is
+    // benchmarked at MEANS demand; the ulp gate below re-runs it at full
+    // demand so extrema and per-host exactness are checked too
+    let batched_cfg = MetricsConfig {
+        demand: Demand::MEANS,
+        batched: true,
+        ..full_cfg
+    };
+    let batched_full_cfg = MetricsConfig {
+        batched: true,
+        ..full_cfg
+    };
+
+    let mut rows = Vec::new();
+    for &hosts in &[8usize, 1024] {
+        let trace = preset.trace(jobs, 0.7, hosts, 2003);
+        let id_trace = preset.trace(id_jobs, 0.7, hosts, 2004);
+        let cutoffs = sita_e_cutoffs(&preset.size_dist, hosts).expect("SITA-E cutoffs");
+        type Builder<'a> = Box<dyn Fn() -> Box<dyn Dispatcher> + 'a>;
+        let builders: Vec<(&'static str, Builder<'_>)> = vec![
+            ("Random", Box::new(|| Box::new(RandomPolicy))),
+            (
+                "SITA-E",
+                Box::new(|| Box::new(SizeInterval::new(cutoffs.clone(), "SITA-E"))),
+            ),
+        ];
+        for (name, build) in &builders {
+            // --- timings: the same policy and trace through the same
+            // warmed workspace, only the collector tier varies ---
+            let mut ws = SimWorkspace::new();
+            let mut out = SimResult::empty();
+            let mut pol = build();
+            let mut time_cfg = |cfg: MetricsConfig| {
+                simulate_dispatch_into(&trace, hosts, pol.as_mut(), 7, cfg, &mut ws, &mut out);
+                best_of(reps, || {
+                    simulate_dispatch_into(&trace, hosts, pol.as_mut(), 7, cfg, &mut ws, &mut out);
+                    out.measured
+                })
+            };
+            let full_secs = time_cfg(full_cfg);
+            let means_secs = time_cfg(means_cfg);
+            let batched_secs = time_cfg(batched_cfg);
+
+            // --- full-demand identity: record-bitwise vs the full-state
+            // loop (the tiering must not perturb the default path) ---
+            let recs = MetricsConfig::full_records();
+            let mut a = SimResult::empty();
+            simulate_dispatch_into(&id_trace, hosts, build().as_mut(), 7, recs, &mut ws, &mut a);
+            let b = simulate_dispatch(&id_trace, hosts, &mut ForceFull(build()), 7, recs);
+            let mut identical = records_bitwise_equal(
+                a.records.as_deref().unwrap(),
+                b.records.as_deref().unwrap(),
+            );
+
+            // --- MEANS-tier identity: demanded fields bit-for-bit,
+            // undemanded fields deterministic empties ---
+            let mut f = SimResult::empty();
+            simulate_dispatch_into(&id_trace, hosts, build().as_mut(), 7, full_cfg, &mut ws, &mut f);
+            let mut m = SimResult::empty();
+            simulate_dispatch_into(&id_trace, hosts, build().as_mut(), 7, means_cfg, &mut ws, &mut m);
+            identical = identical
+                && moments_core_equal(&m.slowdown, &f.slowdown)
+                && moments_core_equal(&m.queueing_slowdown, &f.queueing_slowdown)
+                && moments_core_equal(&m.response, &f.response)
+                && moments_core_equal(&m.waiting, &f.waiting)
+                && m.makespan.to_bits() == f.makespan.to_bits()
+                && m.measured == f.measured
+                && m.per_host.iter().all(|h| h.jobs == 0 && h.work.to_bits() == 0);
+
+            // --- batched ulp gate at full demand: counts, extrema,
+            // per-host tallies, and makespan exact; mean/variance inside
+            // the documented merge bounds ---
+            let mut bt = SimResult::empty();
+            simulate_dispatch_into(
+                &id_trace,
+                hosts,
+                build().as_mut(),
+                7,
+                batched_full_cfg,
+                &mut ws,
+                &mut bt,
+            );
+            let ulp_ok = moments_block_close(&bt.slowdown, &f.slowdown)
+                && moments_block_close(&bt.queueing_slowdown, &f.queueing_slowdown)
+                && moments_block_close(&bt.response, &f.response)
+                && moments_block_close(&bt.waiting, &f.waiting)
+                && bt.makespan.to_bits() == f.makespan.to_bits()
+                && bt.measured == f.measured
+                && bt.per_host.len() == f.per_host.len()
+                && bt
+                    .per_host
+                    .iter()
+                    .zip(&f.per_host)
+                    .all(|(x, y)| x.jobs == y.jobs && x.work.to_bits() == y.work.to_bits());
+
+            // --- zero-allocation gates on the warmed workspace ---
+            simulate_dispatch_into(&trace, hosts, pol.as_mut(), 7, means_cfg, &mut ws, &mut out);
+            let (_, m_allocs) = alloc_count_of(|| {
+                for _ in 0..count_runs {
+                    simulate_dispatch_into(
+                        &trace, hosts, pol.as_mut(), 7, means_cfg, &mut ws, &mut out,
+                    );
+                }
+            });
+            simulate_dispatch_into(&trace, hosts, pol.as_mut(), 7, batched_cfg, &mut ws, &mut out);
+            let (_, b_allocs) = alloc_count_of(|| {
+                for _ in 0..count_runs {
+                    simulate_dispatch_into(
+                        &trace, hosts, pol.as_mut(), 7, batched_cfg, &mut ws, &mut out,
+                    );
+                }
+            });
+
+            let row = MetricsRow {
+                policy: name,
+                hosts,
+                full_jps: jobs as f64 / full_secs,
+                means_jps: jobs as f64 / means_secs,
+                batched_jps: jobs as f64 / batched_secs,
+                identical,
+                ulp_ok,
+                means_allocs: m_allocs / count_runs,
+                batched_allocs: b_allocs / count_runs,
+            };
+            println!(
+                "  h={:<5} {:<8} full {:>10}/s  means {:>10}/s ({:.2}x)  batched {:>10}/s ({:.2}x)  identical: {}  ulp_ok: {}  allocs {}+{}",
+                row.hosts,
+                row.policy,
+                fmt_rate(row.full_jps),
+                fmt_rate(row.means_jps),
+                row.means_jps / row.full_jps,
+                fmt_rate(row.batched_jps),
+                row.batched_jps / row.full_jps,
+                row.identical,
+                row.ulp_ok,
+                row.means_allocs,
+                row.batched_allocs,
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
 struct ScalingCell {
     hosts: usize,
     threads: usize,
@@ -1299,6 +1514,7 @@ fn main() {
     let sq = sq_kernel_bench(smoke);
     let simd = simd_bench(smoke);
     let segmented = segmented_bench(smoke);
+    let metrics = metrics_bench(smoke);
     let scaling = if smoke { Vec::new() } else { thread_scaling_bench(smoke) };
 
     let kernels_identical = kernels.iter().all(|r| r.identical) && sq.identical;
@@ -1310,6 +1526,11 @@ fn main() {
     let segmented_zero_alloc = segmented
         .iter()
         .all(|r| r.segmented_allocs == 0 && r.fused_allocs == 0);
+    let metrics_identical = metrics.iter().all(|r| r.identical);
+    let metrics_ulp_ok = metrics.iter().all(|r| r.ulp_ok);
+    let metrics_zero_alloc = metrics
+        .iter()
+        .all(|r| r.means_allocs == 0 && r.batched_allocs == 0);
     let zero_alloc = workspace.steady_allocs_per_run == 0;
     if !zero_alloc {
         eprintln!(
@@ -1344,6 +1565,33 @@ fn main() {
             );
         }
     }
+    if !metrics_identical {
+        for r in metrics.iter().filter(|r| !r.identical) {
+            eprintln!(
+                "ERROR: collector tier for {} at h={} diverged from the full record path",
+                r.policy, r.hosts
+            );
+        }
+    }
+    if !metrics_ulp_ok {
+        for r in metrics.iter().filter(|r| !r.ulp_ok) {
+            eprintln!(
+                "ERROR: batched collector for {} at h={} exceeded its ulp bounds",
+                r.policy, r.hosts
+            );
+        }
+    }
+    if !metrics_zero_alloc {
+        for r in metrics
+            .iter()
+            .filter(|r| r.means_allocs != 0 || r.batched_allocs != 0)
+        {
+            eprintln!(
+                "ERROR: collector tier for {} at h={} allocated in steady state (means {}, batched {})",
+                r.policy, r.hosts, r.means_allocs, r.batched_allocs
+            );
+        }
+    }
     let bit_identical = sweep_identical
         && kernels_identical
         && cutoffs.identical
@@ -1353,7 +1601,10 @@ fn main() {
         && simd_identical
         && simd_zero_alloc
         && segmented_identical
-        && segmented_zero_alloc;
+        && segmented_zero_alloc
+        && metrics_identical
+        && metrics_ulp_ok
+        && metrics_zero_alloc;
 
     if !smoke {
         let json = format!(
@@ -1520,6 +1771,51 @@ fn main() {
             println!("WARNING: SITA-E h=1024 segmented is below 1.0x scalar");
         }
 
+        let metric_rows: Vec<String> = metrics
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"policy\": \"{}\", \"hosts\": {}, \"full_jobs_per_sec\": {:.0}, \"means_jobs_per_sec\": {:.0}, \"batched_jobs_per_sec\": {:.0}, \"means_speedup\": {:.3}, \"batched_speedup\": {:.3}, \"bit_identical\": {}, \"ulp_ok\": {}, \"means_allocs_per_run\": {}, \"batched_allocs_per_run\": {}}}",
+                    r.policy,
+                    r.hosts,
+                    r.full_jps,
+                    r.means_jps,
+                    r.batched_jps,
+                    r.means_jps / r.full_jps,
+                    r.batched_jps / r.full_jps,
+                    r.identical,
+                    r.ulp_ok,
+                    r.means_allocs,
+                    r.batched_allocs,
+                )
+            })
+            .collect();
+        let means_speedup_h8 = metrics
+            .iter()
+            .filter(|r| r.hosts == 8)
+            .map(|r| r.means_jps / r.full_jps)
+            .fold(f64::INFINITY, f64::min);
+        let best_tier_h8 = metrics
+            .iter()
+            .filter(|r| r.hosts == 8)
+            .map(|r| r.full_jps.max(r.means_jps).max(r.batched_jps))
+            .fold(0.0f64, f64::max);
+        let json = format!(
+            "{{\n  \"config\": {{\"workload\": \"c90\", \"rho\": 0.7, \"jobs\": {jobs}, \"seed\": 2003, \"tiers\": [\"{}\", \"{}\", \"batched\"], \"block\": 64}},\n  \"rows\": [\n{}\n  ],\n  \"means_speedup_h8\": {:.3},\n  \"means_speedup_ok\": {},\n  \"best_tier_jobs_per_sec_h8\": {:.0},\n  \"bit_identical\": {metrics_identical},\n  \"ulp_ok\": {metrics_ulp_ok},\n  \"zero_alloc\": {metrics_zero_alloc}\n}}\n",
+            metrics_mode_label(MetricsMode::Full),
+            metrics_mode_label(MetricsMode::Means),
+            metric_rows.join(",\n"),
+            means_speedup_h8,
+            means_speedup_h8 >= 1.3,
+            best_tier_h8,
+            jobs = 400_000,
+        );
+        std::fs::write("BENCH_metrics.json", &json).expect("write BENCH_metrics.json");
+        println!("wrote BENCH_metrics.json");
+        if means_speedup_h8 < 1.3 {
+            println!("WARNING: MEANS collector tier is below the 1.3x target at h=8");
+        }
+
         // One trajectory summary over every section of this report.
         let best_kernel = kernels
             .iter()
@@ -1572,6 +1868,20 @@ fn main() {
             fmt_rate(seg_h8.fused_seg_jps),
             seg_h8.fused_seg_jps / seg_h8.fused_direct_jps,
             sita_cliff,
+        );
+        let met_h8 = metrics
+            .iter()
+            .filter(|r| r.hosts == 8)
+            .max_by(|a, b| (a.means_jps / a.full_jps).total_cmp(&(b.means_jps / b.full_jps)))
+            .expect("metrics rows");
+        println!(
+            "  collector tiers     {} full {}/s -> means {}/s ({:.2}x) -> batched {}/s ({:.2}x) at h=8",
+            met_h8.policy,
+            fmt_rate(met_h8.full_jps),
+            fmt_rate(met_h8.means_jps),
+            met_h8.means_jps / met_h8.full_jps,
+            fmt_rate(met_h8.batched_jps),
+            met_h8.batched_jps / met_h8.full_jps,
         );
         println!(
             "  scaling stops at    h=8: {} threads, h=64: {}, h=1024: {}",

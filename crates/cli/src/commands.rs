@@ -5,7 +5,7 @@ use crate::names;
 use dses_core::fairness::FairnessReport;
 use dses_core::report::{fmt_num, Table};
 use dses_core::rule_of_thumb::rule_of_thumb_fraction;
-use dses_core::{Experiment, PolicySpec};
+use dses_core::{Experiment, MetricsMode, PolicySpec};
 use dses_dist::{Distribution, Mixture};
 use dses_sim::SimResult;
 use dses_workload::{swf, Trace};
@@ -51,6 +51,9 @@ COMMANDS
       --fairness                    print the slowdown-vs-size profile
       --percentiles                 print slowdown percentiles
       --slo <s>                     report the fraction of jobs with slowdown > s
+      --metrics full|auto|means     collector demand tier (default auto);
+                                    auto collects what each command reads,
+                                    means is the slim throughput tier
   analyze    closed-form prediction (no simulation)
       --workload, --policy, --load, --hosts as above
   sweep      figure-style table over loads
@@ -118,6 +121,16 @@ fn experiment_from(args: &Args) -> Result<(Experiment<Mixture>, f64), ArgError> 
     let experiment = match args.get("slo") {
         Some(_) => experiment.slo(args.get_f64("slo", 10.0)?),
         None => experiment,
+    };
+    let experiment = match args.get_or("metrics", "auto") {
+        "full" => experiment.metrics_mode(MetricsMode::Full),
+        "auto" => experiment.metrics_mode(MetricsMode::Auto),
+        "means" => experiment.metrics_mode(MetricsMode::Means),
+        other => {
+            return Err(ArgError(format!(
+                "--metrics expects full, auto, or means, got {other:?}"
+            )))
+        }
     };
     Ok((experiment, load))
 }
@@ -517,6 +530,18 @@ mod tests {
         .unwrap();
         assert!(out.contains("SWF trace"));
         assert!(out.contains("mean slowdown"));
+    }
+
+    #[test]
+    fn metrics_mode_flag_parses_and_rejects() {
+        let out = run_tokens(&[
+            "simulate", "--policy", "lwl", "--jobs", "2000", "--load", "0.5", "--metrics",
+            "means",
+        ])
+        .unwrap();
+        assert!(out.contains("mean slowdown"));
+        let err = run_tokens(&["simulate", "--metrics", "bogus"]);
+        assert!(err.is_err());
     }
 
     #[test]

@@ -7,7 +7,8 @@ use dses_queueing::cutoff::CutoffError;
 use dses_queueing::policies::{analyze_policy, AnalyticMetrics, AnalyticPolicy};
 use dses_sim::par::{effective_workers, par_map, par_map_grouped, par_map_indexed};
 use dses_sim::{
-    simulate_dispatch, simulate_dispatch_fused, Dispatcher, EventEngine, MetricsConfig, SimResult,
+    simulate_dispatch, simulate_dispatch_fused, Demand, Dispatcher, EventEngine, MetricsConfig,
+    SimResult,
 };
 use dses_workload::{Trace, WorkloadBuilder};
 use std::sync::Arc;
@@ -17,6 +18,29 @@ use std::sync::Arc;
 /// latency of a single lane without spilling the hot state out of
 /// registers/L1 (see `DESIGN.md` §11).
 const FUSE_WIDTH: usize = 8;
+
+/// How an experiment resolves the collector's [`Demand`] tier — the
+/// demand-lattice knob exposed on the CLI and exhibit binaries as
+/// `--metrics full|auto|means` (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsMode {
+    /// Every accumulator family on every entry point — the pre-tier
+    /// collector, byte-for-byte.
+    Full,
+    /// Each entry point demands exactly the fields it reads:
+    /// [`Experiment::run`]/[`Experiment::try_run`] return the whole
+    /// [`SimResult`], so they stay full; [`Experiment::sweep_grid`]
+    /// reads only [`SweepPoint`]'s fields (`MEANS | PER_HOST`);
+    /// [`Experiment::replicate`] reads only the mean slowdown
+    /// (`MEANS`). Demanded fields are bitwise identical to `Full`, so
+    /// figures and exhibits are unchanged under `Auto`.
+    #[default]
+    Auto,
+    /// Force the `MEANS` tier everywhere: the four moment streams and
+    /// makespan only. Undemanded [`SimResult`] fields read as
+    /// deterministic empties — a throughput mode, not a fidelity mode.
+    Means,
+}
 
 /// A configured experiment: a workload distribution plus simulation
 /// parameters. Cheap to clone; immutable once built.
@@ -31,6 +55,7 @@ pub struct Experiment<D: Distribution + Clone + 'static> {
     percentiles: bool,
     slo_slowdown: Option<f64>,
     threads: Option<usize>,
+    metrics_mode: MetricsMode,
 }
 
 impl<D: Distribution + Clone + 'static> Experiment<D> {
@@ -47,7 +72,17 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
             percentiles: false,
             slo_slowdown: None,
             threads: None,
+            metrics_mode: MetricsMode::default(),
         }
+    }
+
+    /// How the collector's [`Demand`] tier is resolved (default
+    /// [`MetricsMode::Auto`]; see its docs for the per-entry-point
+    /// demands).
+    #[must_use]
+    pub fn metrics_mode(mut self, mode: MetricsMode) -> Self {
+        self.metrics_mode = mode;
+        self
     }
 
     /// Worker threads for grid entry points ([`Experiment::sweep_grid`],
@@ -138,7 +173,17 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
             .build()
     }
 
-    fn metrics_config(&self, split_cutoff: Option<f64>) -> MetricsConfig {
+    /// Resolve the effective demand for an entry point that reads the
+    /// `reads` families from its results.
+    fn demand_for(&self, reads: Demand) -> Demand {
+        match self.metrics_mode {
+            MetricsMode::Full => Demand::FULL,
+            MetricsMode::Auto => reads,
+            MetricsMode::Means => Demand::MEANS,
+        }
+    }
+
+    fn metrics_config(&self, split_cutoff: Option<f64>, reads: Demand) -> MetricsConfig {
         let (lo, hi) = self.dist.support();
         let hi = if hi.is_finite() { hi * 1.01 } else { 1.0e9 };
         MetricsConfig {
@@ -149,6 +194,8 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
             split_cutoff,
             slowdown_percentiles: self.percentiles,
             slo_slowdown: self.slo_slowdown,
+            demand: self.demand_for(reads),
+            batched: false,
         }
     }
 
@@ -178,7 +225,20 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
         spec: &PolicySpec,
         trace: &Trace,
     ) -> Result<SimResult, CutoffError> {
-        let (built, cfg) = self.prepare_run(spec, trace)?;
+        // Callers of the single-run API get the whole SimResult, so the
+        // declared read set is everything.
+        self.try_run_on_trace_demand(spec, trace, Demand::FULL)
+    }
+
+    /// [`Experiment::try_run_on_trace`] with the caller declaring which
+    /// result families it reads (the demand under [`MetricsMode::Auto`]).
+    fn try_run_on_trace_demand(
+        &self,
+        spec: &PolicySpec,
+        trace: &Trace,
+        reads: Demand,
+    ) -> Result<SimResult, CutoffError> {
+        let (built, cfg) = self.prepare_run(spec, trace, reads)?;
         let result = match built {
             BuiltPolicy::Dispatch(mut p) => {
                 simulate_dispatch(trace, self.hosts, p.as_mut(), self.seed, cfg)
@@ -199,6 +259,7 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
         &self,
         spec: &PolicySpec,
         trace: &Trace,
+        reads: Demand,
     ) -> Result<(BuiltPolicy, MetricsConfig), CutoffError> {
         let lambda = trace.arrival_rate();
         let built = spec.build(&self.dist, lambda, self.hosts)?;
@@ -218,7 +279,7 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
             (None, PolicySpec::SitaFixed { cutoffs }) if cutoffs.len() == 1 => Some(cutoffs[0]),
             _ => None,
         };
-        Ok((built, self.metrics_config(split)))
+        Ok((built, self.metrics_config(split, reads)))
     }
 
     /// Simulate a whole load sweep (a one-policy [`Experiment::sweep_grid`]).
@@ -266,7 +327,13 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
         let n_loads = loads.len();
         let grid = par_map_indexed(specs.len() * n_loads, workers, move |g| {
             let (s, l) = (g / n_loads, g % n_loads);
-            let result = this.try_run_on_trace(&shared_specs[s], &traces[l]);
+            // SweepPoint reads moment means/variances and host-0 load
+            // shares — the MEANS | PER_HOST demand tier.
+            let result = this.try_run_on_trace_demand(
+                &shared_specs[s],
+                &traces[l],
+                Demand::MEANS | Demand::PER_HOST,
+            );
             SweepPoint::from_result(shared_loads[l], result.ok())
         });
         specs
@@ -385,8 +452,10 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
             .collect();
         let mut policies: Vec<Box<dyn Dispatcher>> = Vec::with_capacity(lanes.len());
         let mut cfgs: Vec<MetricsConfig> = Vec::with_capacity(lanes.len());
+        // Replication samples read only the mean slowdown.
+        let reads = Demand::MEANS;
         for (clone, trace) in &lanes {
-            match clone.prepare_run(spec, trace) {
+            match clone.prepare_run(spec, trace, reads) {
                 Ok((BuiltPolicy::Dispatch(p), cfg)) => {
                     policies.push(p);
                     cfgs.push(cfg);
@@ -396,7 +465,9 @@ impl<D: Distribution + Clone + 'static> Experiment<D> {
                 _ => {
                     return lanes
                         .iter()
-                        .map(|(c, t)| c.try_run_on_trace(spec, t).map(|r| r.slowdown.mean))
+                        .map(|(c, t)| {
+                            c.try_run_on_trace_demand(spec, t, reads).map(|r| r.slowdown.mean)
+                        })
                         .collect();
                 }
             }

@@ -505,7 +505,10 @@ fn run_segmented_core<S, F>(
         // Phase 3: metrics replay from the per-job slots, lane-outer so
         // every SoA view hoists. Each collector is per-lane state, so
         // feeding it this block's records in arrival order reproduces
-        // the direct kernel's accumulator updates bit for bit.
+        // the direct kernel's accumulator updates bit for bit. The
+        // whole block goes over as contiguous SoA lanes — on the
+        // batched collector tier that path stages by `copy_from_slice`
+        // instead of one `JobRecord` at a time.
         for (r, &trace) in traces.iter().enumerate() {
             let jobs = &trace.jobs()[block_base..block_base + b];
             // dses-lint: allow(no-alloc-transitive) -- Trace::arrivals borrows; the allocating name-match is WorkloadBuilder::arrivals
@@ -515,20 +518,15 @@ fn run_segmented_core<S, F>(
             let lane_starts = &starts[r * b..(r + 1) * b];
             let lane_departs = &departs[r * b..(r + 1) * b];
             let lane_chosen = &chosen[r * b..(r + 1) * b];
-            let collector = &mut collectors[r];
-            for j in 0..b {
-                collector.record_with_inv(
-                    JobRecord {
-                        id: jobs[j].id,
-                        arrival: arrivals[j],
-                        size: sizes[j],
-                        start: lane_starts[j],
-                        completion: lane_departs[j],
-                        host: lane_chosen[j] as usize,
-                    },
-                    inv_sizes[j],
-                );
-            }
+            collectors[r].record_block_with_inv(
+                jobs,
+                arrivals,
+                sizes,
+                inv_sizes,
+                lane_starts,
+                lane_departs,
+                lane_chosen,
+            );
         }
         block_base += b;
     }

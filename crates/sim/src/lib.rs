@@ -52,7 +52,7 @@ pub use par::{
     available_workers, effective_workers, par_map, par_map_grouped, par_map_indexed,
     par_map_indexed_scoped, WorkerPool,
 };
-pub use metrics::{HostStats, JobRecord, MetricsConfig, SimResult};
+pub use metrics::{Demand, HostStats, JobRecord, MetricsConfig, SimResult};
 pub use state::{
     DispatchKernel, Dispatcher, HostView, QueueDiscipline, StateNeeds, SystemState,
 };

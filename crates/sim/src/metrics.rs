@@ -7,6 +7,7 @@
 //! "fraction of load on Host 1" series needs.
 
 use dses_dist::{LogHistogram, Moments, OnlineMoments, QuantileSet};
+use dses_workload::Job;
 
 /// The outcome of one job's passage through the system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +56,70 @@ impl JobRecord {
     }
 }
 
+/// Which aggregate families a run's consumer will actually read — the
+/// collector's licence to skip maintaining the rest.
+///
+/// This is the metrics-layer sibling of `StateNeeds`: just as a policy
+/// that never reads `queue_len` licenses the engine to skip per-host
+/// counting, a caller that only reads mean slowdown licenses the
+/// collector to skip per-host tallies, extrema, quantiles, and class
+/// splits. [`Collector`] resolves the demand to a monomorphized record
+/// path at reset, so an unrequested accumulator costs zero instructions
+/// per job on the named tiers (DESIGN.md §13).
+///
+/// Demand is an *upper bound* composed with the existing config
+/// switches: an optional accumulator (fairness histogram, percentiles,
+/// class split, SLO counter, records) runs only when its config switch
+/// is on **and** its demand bit is requested. The default demand is
+/// [`Demand::FULL`], so every pre-demand config contract is unchanged.
+///
+/// Undemanded outputs are deterministic empties: optional fields are
+/// `None`, per-host tallies are zero, and stream extrema are the
+/// empty-stream sentinels (`min = +∞`, `max = −∞`). Demanded fields are
+/// bitwise identical across demand values — each accumulator's
+/// arithmetic never depends on which other accumulators run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand(u8);
+
+impl Demand {
+    /// Count/mean/variance of the four moment streams, plus makespan.
+    /// Always on — a collector that measures nothing is useless, so
+    /// [`Collector`] ORs this in at reset.
+    pub const MEANS: Demand = Demand(1);
+    /// Short/long slowdown class split (when `split_cutoff` is set).
+    pub const CLASS_SPLIT: Demand = Demand(2);
+    /// Distribution shape: stream extrema (min/max), the P² slowdown
+    /// percentiles, the fairness profile, and the SLO violation count.
+    pub const QUANTILES: Demand = Demand(4);
+    /// Per-host job/work tallies (load and job fractions, utilizations).
+    pub const PER_HOST: Demand = Demand(8);
+    /// The per-job record buffer (when `collect_records` is set).
+    pub const RECORDS: Demand = Demand(16);
+    /// Everything — the default, and the tier every exhibit capture and
+    /// bit-identity gate runs under.
+    pub const FULL: Demand = Demand(31);
+
+    /// Whether every bit of `other` is requested.
+    #[must_use]
+    pub fn includes(self, other: Demand) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The demand with [`Demand::MEANS`] forced on (what [`Collector`]
+    /// actually runs under).
+    #[must_use]
+    pub fn normalized(self) -> Demand {
+        Demand(self.0 | Demand::MEANS.0)
+    }
+}
+
+impl std::ops::BitOr for Demand {
+    type Output = Demand;
+    fn bitor(self, rhs: Demand) -> Demand {
+        Demand(self.0 | rhs.0)
+    }
+}
+
 /// What to collect during a run.
 ///
 /// Two modes matter in practice:
@@ -89,6 +154,22 @@ pub struct MetricsConfig {
     /// threshold — "predictable slowdown" (§1.2) as an SLO violation
     /// fraction.
     pub slo_slowdown: Option<f64>,
+    /// Which aggregate families the consumer will read (see [`Demand`]).
+    /// Defaults to [`Demand::FULL`]; narrower demands let the collector
+    /// drop to a slimmer monomorphized record path.
+    pub demand: Demand,
+    /// Opt into the block-batched collector tier: records buffer into
+    /// 64-wide SoA lanes and fold into the Welford streams once per
+    /// block ([`OnlineMoments::merge_block`]). Stream means/variances
+    /// are then **ulp-bounded** rather than bit-identical to the
+    /// per-record tiers (count, extrema, makespan, and per-host tallies
+    /// stay exact), so this tier carries its own relative-error gate in
+    /// `perf_report`, is never the default, and is never used by
+    /// exhibits. Engages only when no per-record optional accumulator
+    /// is active (records, fairness profile, percentiles, class split,
+    /// SLO counter — each off in config or undemanded); otherwise the
+    /// per-record path runs and results stay bit-identical.
+    pub batched: bool,
 }
 
 impl Default for MetricsConfig {
@@ -101,6 +182,8 @@ impl Default for MetricsConfig {
             split_cutoff: None,
             slowdown_percentiles: false,
             slo_slowdown: None,
+            demand: Demand::FULL,
+            batched: false,
         }
     }
 }
@@ -246,6 +329,132 @@ impl SimResult {
     }
 }
 
+/// Number of records the block-batched tier buffers between flushes.
+const BLOCK: usize = 64;
+
+/// SoA lane buffer for the block-batched collector tier (DESIGN.md §13).
+///
+/// Buffers up to [`BLOCK`] post-warmup records as structure-of-arrays
+/// lanes. A flush reduces each derived stream to `(n, mean, m2, min,
+/// max)` in short vectorizable passes (8-way partial sums, then
+/// centered squares) and folds the summary into the owning collector's
+/// Welford streams via [`OnlineMoments::merge_block`] — one reduction
+/// per block instead of four dependent accumulator updates per job.
+#[derive(Debug, Clone)]
+struct BlockCollector {
+    fill: usize,
+    /// response time `completion − arrival`
+    resp: [f64; BLOCK],
+    /// waiting time `start − arrival`
+    wait: [f64; BLOCK],
+    size: [f64; BLOCK],
+    /// exact reciprocal `1/size` (the trace's precomputed value)
+    inv: [f64; BLOCK],
+    host: [u32; BLOCK],
+}
+
+impl BlockCollector {
+    fn empty() -> Self {
+        Self {
+            fill: 0,
+            resp: [0.0; BLOCK],
+            wait: [0.0; BLOCK],
+            size: [0.0; BLOCK],
+            inv: [0.0; BLOCK],
+            host: [0; BLOCK],
+        }
+    }
+}
+
+/// Reduce one value lane to `(mean, m2, min, max)`.
+///
+/// Partial 8-way accumulators keep every pass free of loop-carried
+/// scalar dependences, so the compiler can vectorize; the tree
+/// reduction at the end fixes the summation order, making the result
+/// deterministic (and ulp-close to, but not bitwise, the sequential
+/// Welford recurrence — see the error argument in DESIGN.md §13).
+fn lane_stats(x: &[f64]) -> (f64, f64, f64, f64) {
+    debug_assert!(!x.is_empty() && x.len() <= BLOCK);
+    let mut sums = [0.0f64; 8];
+    let mut mins = [f64::INFINITY; 8];
+    let mut maxs = [f64::NEG_INFINITY; 8];
+    for c in x.chunks(8) {
+        for (k, &v) in c.iter().enumerate() {
+            sums[k] += v;
+            if v < mins[k] {
+                mins[k] = v;
+            }
+            if v > maxs[k] {
+                maxs[k] = v;
+            }
+        }
+    }
+    let tree = |p: &[f64; 8], f: fn(f64, f64) -> f64| {
+        f(f(f(p[0], p[1]), f(p[2], p[3])), f(f(p[4], p[5]), f(p[6], p[7])))
+    };
+    let sum = tree(&sums, |a, b| a + b);
+    // a full block divides by 64 — a power of two, so the constant
+    // multiply is the exact same value and the steady-state flush stays
+    // divide-free; only tail blocks pay one divide
+    let mean = if x.len() == BLOCK { sum * (1.0 / BLOCK as f64) } else { sum / x.len() as f64 };
+    let mut m2s = [0.0f64; 8];
+    for c in x.chunks(8) {
+        for (k, &v) in c.iter().enumerate() {
+            let d = v - mean;
+            m2s[k] += d * d;
+        }
+    }
+    (
+        mean,
+        tree(&m2s, |a, b| a + b),
+        tree(&mins, f64::min),
+        tree(&maxs, f64::max),
+    )
+}
+
+/// The monomorphized record path a collector resolved its
+/// [`Demand`] + config to at reset (the §13 demand lattice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecordPath {
+    /// Every accumulator family the config enables — the default tier,
+    /// bit-identical to the pre-demand collector, and the fallback for
+    /// any demand combination without a dedicated slim path.
+    Full,
+    /// `MEANS | PER_HOST`, no optional accumulators: moment streams
+    /// without extrema, plus host tallies. What `sweep_grid` demands.
+    MeansHost,
+    /// `MEANS` only: the four moment streams, nothing else.
+    Means,
+    /// Block-batched SoA accumulation (`MetricsConfig::batched`).
+    Batched,
+}
+
+/// Resolve the record path from the demand lattice and the config's
+/// optional accumulators. An optional accumulator is *active* only when
+/// its config switch is on and its demand bit is requested.
+fn resolve_path(cfg: &MetricsConfig) -> RecordPath {
+    let d = cfg.demand.normalized();
+    let tail_active = (cfg.collect_records && d.includes(Demand::RECORDS))
+        || (cfg.fairness_bins > 0 && d.includes(Demand::QUANTILES))
+        || (cfg.split_cutoff.is_some() && d.includes(Demand::CLASS_SPLIT))
+        || (cfg.slowdown_percentiles && d.includes(Demand::QUANTILES))
+        || (cfg.slo_slowdown.is_some() && d.includes(Demand::QUANTILES));
+    if tail_active {
+        // per-record accumulators force the per-record path
+        RecordPath::Full
+    } else if cfg.batched {
+        RecordPath::Batched
+    } else if d.includes(Demand::QUANTILES) {
+        // extrema demanded: full streams (tail checks are four
+        // predictable None-tests)
+        RecordPath::Full
+    } else if d.includes(Demand::PER_HOST) {
+        RecordPath::MeansHost
+    } else {
+        RecordPath::Means
+    }
+}
+
 /// Streaming collector that the engines feed records into.
 #[derive(Debug)]
 pub struct Collector {
@@ -270,6 +479,17 @@ pub struct Collector {
     /// but never shrinks, and counts past the table fall back to the
     /// live divide (bitwise the same value).
     inv_n: Vec<f64>,
+    /// The monomorphized record path resolved from `cfg` at reset.
+    path: RecordPath,
+    /// `Demand::PER_HOST` requested (the batched flush consults it; the
+    /// per-record paths bake it into their instantiation).
+    host_on: bool,
+    /// `cfg.split_cutoff` masked by `Demand::CLASS_SPLIT`.
+    eff_split: Option<f64>,
+    /// `cfg.slo_slowdown` masked by `Demand::QUANTILES`.
+    eff_slo: Option<f64>,
+    /// SoA lanes for the batched tier; grow-once like the buffers above.
+    block: Option<Box<BlockCollector>>,
 }
 
 impl Collector {
@@ -285,27 +505,30 @@ impl Collector {
     /// ignores the hint).
     #[must_use]
     pub fn with_job_hint(hosts: usize, cfg: MetricsConfig, expected_jobs: usize) -> Self {
-        let fairness = (cfg.fairness_bins > 0).then(|| {
-            let (lo, hi) = cfg.fairness_range;
-            LogHistogram::new(lo, hi, cfg.fairness_bins)
-        });
-        Self {
+        let mut c = Self {
             cfg,
             slowdown: OnlineMoments::new(),
             queueing_slowdown: OnlineMoments::new(),
             response: OnlineMoments::new(),
             waiting: OnlineMoments::new(),
-            per_host: vec![HostStats::default(); hosts],
+            per_host: Vec::new(),
             makespan: 0.0,
             seen: 0,
-            fairness,
+            fairness: None,
             short_slowdown: OnlineMoments::new(),
             long_slowdown: OnlineMoments::new(),
-            percentiles: cfg.slowdown_percentiles.then(QuantileSet::default),
+            percentiles: None,
             slo_violations: 0,
-            records: cfg.collect_records.then(|| Vec::with_capacity(expected_jobs)),
-            inv_n: (0..expected_jobs).map(|k| 1.0 / (k + 1) as f64).collect(),
-        }
+            records: None,
+            inv_n: Vec::new(),
+            path: RecordPath::Full,
+            host_on: true,
+            eff_split: None,
+            eff_slo: None,
+            block: None,
+        };
+        c.reset(hosts, cfg, expected_jobs);
+        c
     }
 
     /// Reconfigure for a new run, clearing without freeing.
@@ -315,9 +538,11 @@ impl Collector {
     /// expected_jobs)` — the engines' reusable-workspace entry points rely
     /// on that to stay bit-for-bit equal to fresh-allocation runs — but
     /// every growable buffer (per-host stats, the fairness histogram when
-    /// its layout is unchanged, the record vector) keeps its allocation.
+    /// its layout is unchanged, the record vector, the block lanes) keeps
+    /// its allocation.
     pub fn reset(&mut self, hosts: usize, cfg: MetricsConfig, expected_jobs: usize) {
         self.cfg = cfg;
+        let d = cfg.demand.normalized();
         self.slowdown = OnlineMoments::new();
         self.queueing_slowdown = OnlineMoments::new();
         self.response = OnlineMoments::new();
@@ -326,7 +551,7 @@ impl Collector {
         self.per_host.resize(hosts, HostStats::default());
         self.makespan = 0.0;
         self.seen = 0;
-        if cfg.fairness_bins > 0 {
+        if cfg.fairness_bins > 0 && d.includes(Demand::QUANTILES) {
             let (lo, hi) = cfg.fairness_range;
             match &mut self.fairness {
                 Some(f) if f.has_layout(lo, hi, cfg.fairness_bins) => f.reset(),
@@ -337,7 +562,7 @@ impl Collector {
         }
         self.short_slowdown = OnlineMoments::new();
         self.long_slowdown = OnlineMoments::new();
-        if cfg.slowdown_percentiles {
+        if cfg.slowdown_percentiles && d.includes(Demand::QUANTILES) {
             match &mut self.percentiles {
                 Some(p) => p.reset(),
                 other => *other = Some(QuantileSet::default()),
@@ -346,7 +571,7 @@ impl Collector {
             self.percentiles = None;
         }
         self.slo_violations = 0;
-        if cfg.collect_records {
+        if cfg.collect_records && d.includes(Demand::RECORDS) {
             match &mut self.records {
                 Some(v) => {
                     v.clear();
@@ -357,6 +582,17 @@ impl Collector {
             }
         } else {
             self.records = None;
+        }
+        self.path = resolve_path(&cfg);
+        self.host_on = d.includes(Demand::PER_HOST);
+        self.eff_split = cfg.split_cutoff.filter(|_| d.includes(Demand::CLASS_SPLIT));
+        self.eff_slo = cfg.slo_slowdown.filter(|_| d.includes(Demand::QUANTILES));
+        if self.path == RecordPath::Batched {
+            match &mut self.block {
+                Some(b) => b.fill = 0,
+                // dses-lint: allow(no-alloc-transitive) -- grow-once: the block lanes are built when batching is first enabled, then reused
+                other => *other = Some(Box::new(BlockCollector::empty())),
+            }
         }
         if self.inv_n.len() < expected_jobs {
             // dses-lint: allow(no-alloc-transitive) -- grow-once: the reciprocal table only extends when a larger trace arrives
@@ -383,8 +619,30 @@ impl Collector {
     /// single IEEE divide this method would otherwise issue per job, so
     /// results are bitwise unchanged (a `debug_assert` pins the bit
     /// pattern). This takes the metrics path to one divide per job.
+    // dses-lint: deny(alloc)
     #[inline]
     pub fn record_with_inv(&mut self, rec: JobRecord, inv_size: f64) {
+        match self.path {
+            RecordPath::Full => self.record_core::<true, true, true>(rec, inv_size),
+            RecordPath::MeansHost => self.record_core::<false, true, false>(rec, inv_size),
+            RecordPath::Means => self.record_core::<false, false, false>(rec, inv_size),
+            RecordPath::Batched => self.record_batched(rec, inv_size),
+        }
+    }
+
+    /// The per-record accumulation core, monomorphized over the demand
+    /// tier: `EXTREMA` tracks stream min/max (the `QUANTILES` bit),
+    /// `HOST` updates per-host tallies (`PER_HOST`), `TAIL` runs the
+    /// optional accumulators (fairness histogram, class split,
+    /// percentiles, SLO counter, record buffer). Every demanded field
+    /// computes in exactly the pre-tier order, so demanded outputs stay
+    /// bitwise identical across tiers.
+    #[inline(always)]
+    fn record_core<const EXTREMA: bool, const HOST: bool, const TAIL: bool>(
+        &mut self,
+        rec: JobRecord,
+        inv_size: f64,
+    ) {
         debug_assert!(rec.start >= rec.arrival, "service before arrival");
         debug_assert!(rec.completion >= rec.start, "negative service");
         debug_assert_eq!(
@@ -408,54 +666,277 @@ impl Collector {
         let response = rec.completion - rec.arrival;
         let waiting = rec.start - rec.arrival;
         let s = response * inv_size;
-        self.slowdown.push_with_inv(s, inv_n);
-        self.queueing_slowdown.push_with_inv(waiting * inv_size, inv_n);
-        self.response.push_with_inv(response, inv_n);
-        self.waiting.push_with_inv(waiting, inv_n);
-        let h = &mut self.per_host[rec.host];
-        h.jobs += 1;
-        h.work += rec.size;
-        if let Some(f) = &mut self.fairness {
-            f.record(rec.size, s);
+        if EXTREMA {
+            self.slowdown.push_with_inv(s, inv_n);
+            self.queueing_slowdown.push_with_inv(waiting * inv_size, inv_n);
+            self.response.push_with_inv(response, inv_n);
+            self.waiting.push_with_inv(waiting, inv_n);
+        } else {
+            self.slowdown.push_mv_with_inv(s, inv_n);
+            self.queueing_slowdown.push_mv_with_inv(waiting * inv_size, inv_n);
+            self.response.push_mv_with_inv(response, inv_n);
+            self.waiting.push_mv_with_inv(waiting, inv_n);
         }
-        if let Some(cutoff) = self.cfg.split_cutoff {
-            if rec.size <= cutoff {
-                self.short_slowdown.push(s);
-            } else {
-                self.long_slowdown.push(s);
+        if HOST {
+            let h = &mut self.per_host[rec.host];
+            h.jobs += 1;
+            h.work += rec.size;
+        }
+        if TAIL {
+            if let Some(f) = &mut self.fairness {
+                f.record(rec.size, s);
+            }
+            if let Some(cutoff) = self.eff_split {
+                if rec.size <= cutoff {
+                    self.short_slowdown.push(s);
+                } else {
+                    self.long_slowdown.push(s);
+                }
+            }
+            if let Some(p) = &mut self.percentiles {
+                p.push(s);
+            }
+            if let Some(threshold) = self.eff_slo {
+                if s > threshold {
+                    self.slo_violations += 1;
+                }
+            }
+            if let Some(v) = &mut self.records {
+                v.push(rec);
             }
         }
-        if let Some(p) = &mut self.percentiles {
-            p.push(s);
+    }
+
+    /// The block-batched record path: stage the record into the SoA
+    /// lanes and flush once per [`BLOCK`] completions.
+    #[inline]
+    fn record_batched(&mut self, rec: JobRecord, inv_size: f64) {
+        debug_assert!(rec.start >= rec.arrival, "service before arrival");
+        debug_assert!(rec.completion >= rec.start, "negative service");
+        debug_assert_eq!(
+            inv_size.to_bits(),
+            (1.0 / rec.size).to_bits(),
+            "inv_size must be the bitwise reciprocal of rec.size"
+        );
+        self.makespan = self.makespan.max(rec.completion);
+        self.seen += 1;
+        if self.seen <= self.cfg.warmup_jobs as u64 {
+            return;
         }
-        if let Some(threshold) = self.cfg.slo_slowdown {
-            if s > threshold {
-                self.slo_violations += 1;
+        let Some(b) = self.block.as_mut() else {
+            unreachable!("RecordPath::Batched without lanes; reset() allocates them")
+        };
+        let f = b.fill;
+        b.resp[f] = rec.completion - rec.arrival;
+        b.wait[f] = rec.start - rec.arrival;
+        b.size[f] = rec.size;
+        b.inv[f] = inv_size;
+        b.host[f] = rec.host as u32;
+        b.fill = f + 1;
+        if b.fill == BLOCK {
+            self.flush_block();
+        }
+    }
+
+    /// Flush the staged SoA lanes into the Welford streams (batched tier
+    /// only; a no-op on the per-record paths and on an empty buffer).
+    ///
+    /// Counts, extrema, per-host tallies, and makespan are exact; the
+    /// stream mean/variance go through [`lane_stats`] +
+    /// [`OnlineMoments::merge_block`], which reorders the summation and
+    /// is therefore ulp-bounded rather than bitwise (DESIGN.md §13).
+    fn flush_block(&mut self) {
+        let Some(mut b) = self.block.take() else { return };
+        let fill = b.fill;
+        if fill > 0 {
+            let mut s = [0.0f64; BLOCK];
+            let mut q = [0.0f64; BLOCK];
+            for (sj, (&r, &iv)) in s.iter_mut().zip(b.resp.iter().zip(&b.inv)).take(fill) {
+                *sj = r * iv;
+            }
+            for (qj, (&w, &iv)) in q.iter_mut().zip(b.wait.iter().zip(&b.inv)).take(fill) {
+                *qj = w * iv;
+            }
+            let (m, m2, mn, mx) = lane_stats(&s[..fill]);
+            self.slowdown.merge_block(fill as u64, m, m2, mn, mx);
+            let (m, m2, mn, mx) = lane_stats(&q[..fill]);
+            self.queueing_slowdown.merge_block(fill as u64, m, m2, mn, mx);
+            let (m, m2, mn, mx) = lane_stats(&b.resp[..fill]);
+            self.response.merge_block(fill as u64, m, m2, mn, mx);
+            let (m, m2, mn, mx) = lane_stats(&b.wait[..fill]);
+            self.waiting.merge_block(fill as u64, m, m2, mn, mx);
+            if self.host_on {
+                for j in 0..fill {
+                    let h = &mut self.per_host[b.host[j] as usize];
+                    h.jobs += 1;
+                    h.work += b.size[j];
+                }
+            }
+            b.fill = 0;
+        }
+        self.block = Some(b);
+    }
+
+    /// Record a contiguous run of completed jobs delivered as SoA lanes —
+    /// the segmented replay phase and the fused kernels hand the
+    /// collector exactly the slices they already hold, so the batched
+    /// tier stages by `copy_from_slice` instead of one struct at a time.
+    ///
+    /// Equivalent to calling [`Collector::record_with_inv`] once per
+    /// index in order (bitwise so on the per-record paths). All slices
+    /// must have equal length; `jobs` supplies the ids.
+    // dses-lint: deny(alloc)
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_block_with_inv(
+        &mut self,
+        jobs: &[Job],
+        arrivals: &[f64],
+        sizes: &[f64],
+        inv_sizes: &[f64],
+        starts: &[f64],
+        completions: &[f64],
+        hosts: &[u32],
+    ) {
+        let n = jobs.len();
+        assert_eq!(arrivals.len(), n, "lane length mismatch");
+        assert_eq!(sizes.len(), n, "lane length mismatch");
+        assert_eq!(inv_sizes.len(), n, "lane length mismatch");
+        assert_eq!(starts.len(), n, "lane length mismatch");
+        assert_eq!(completions.len(), n, "lane length mismatch");
+        assert_eq!(hosts.len(), n, "lane length mismatch");
+        if self.path == RecordPath::Batched {
+            self.record_block_batched(arrivals, sizes, inv_sizes, starts, completions, hosts);
+            return;
+        }
+        for j in 0..n {
+            self.record_with_inv(
+                JobRecord {
+                    id: jobs[j].id,
+                    arrival: arrivals[j],
+                    size: sizes[j],
+                    start: starts[j],
+                    completion: completions[j],
+                    host: hosts[j] as usize,
+                },
+                inv_sizes[j],
+            );
+        }
+    }
+
+    /// Bulk lane staging for the batched tier: per-record through the
+    /// warmup boundary, then `copy_from_slice` chunks into the block
+    /// lanes with a makespan fold per chunk. Ids are not needed — the
+    /// batched tier never buffers records.
+    fn record_block_batched(
+        &mut self,
+        arrivals: &[f64],
+        sizes: &[f64],
+        inv_sizes: &[f64],
+        starts: &[f64],
+        completions: &[f64],
+        hosts: &[u32],
+    ) {
+        let n = arrivals.len();
+        let warmup = self.cfg.warmup_jobs as u64;
+        let mut j = 0;
+        while j < n && self.seen < warmup {
+            self.record_batched(
+                JobRecord {
+                    id: 0,
+                    arrival: arrivals[j],
+                    size: sizes[j],
+                    start: starts[j],
+                    completion: completions[j],
+                    host: hosts[j] as usize,
+                },
+                inv_sizes[j],
+            );
+            j += 1;
+        }
+        while j < n {
+            let Some(b) = self.block.as_mut() else {
+                unreachable!("RecordPath::Batched without lanes; reset() allocates them")
+            };
+            let take = (BLOCK - b.fill).min(n - j);
+            let f = b.fill;
+            for k in 0..take {
+                debug_assert!(starts[j + k] >= arrivals[j + k], "service before arrival");
+                debug_assert!(completions[j + k] >= starts[j + k], "negative service");
+                debug_assert_eq!(
+                    inv_sizes[j + k].to_bits(),
+                    (1.0 / sizes[j + k]).to_bits(),
+                    "inv_size must be the bitwise reciprocal of size"
+                );
+                b.resp[f + k] = completions[j + k] - arrivals[j + k];
+                b.wait[f + k] = starts[j + k] - arrivals[j + k];
+            }
+            b.size[f..f + take].copy_from_slice(&sizes[j..j + take]);
+            b.inv[f..f + take].copy_from_slice(&inv_sizes[j..j + take]);
+            b.host[f..f + take].copy_from_slice(&hosts[j..j + take]);
+            b.fill = f + take;
+            let full = b.fill == BLOCK;
+            let mut mk = self.makespan;
+            for &c in &completions[j..j + take] {
+                if c > mk {
+                    mk = c;
+                }
+            }
+            self.makespan = mk;
+            self.seen += take as u64;
+            j += take;
+            if full {
+                self.flush_block();
             }
         }
-        if let Some(v) = &mut self.records {
-            v.push(rec);
+    }
+
+    /// Finish one moment stream, masking extrema when `QUANTILES` is not
+    /// demanded (the slim tiers never track them; the full path tracked
+    /// them but the demand contract says undemanded fields are
+    /// deterministic empties, so both report the `OnlineMoments::new`
+    /// sentinels).
+    fn demanded_moments(&self, om: &OnlineMoments) -> Moments {
+        let m = om.finish();
+        if self.cfg.demand.normalized().includes(Demand::QUANTILES) {
+            m
+        } else {
+            Moments {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                ..m
+            }
         }
     }
 
     /// Finish the run.
+    ///
+    /// Consumes the collector; on the batched tier any partially filled
+    /// block is flushed first. Undemanded fields come out as
+    /// deterministic empties (`None`, zeroed tallies, extrema
+    /// sentinels) regardless of what the config switches asked for.
     #[must_use]
-    pub fn finish(self) -> SimResult {
+    pub fn finish(mut self) -> SimResult {
+        self.flush_block();
+        let d = self.cfg.demand.normalized();
         let measured = self.slowdown.count();
+        let mut per_host = std::mem::take(&mut self.per_host);
+        if !d.includes(Demand::PER_HOST) {
+            per_host.iter_mut().for_each(|h| *h = HostStats::default());
+        }
         SimResult {
-            slowdown: self.slowdown.finish(),
-            queueing_slowdown: self.queueing_slowdown.finish(),
-            response: self.response.finish(),
-            waiting: self.waiting.finish(),
-            per_host: self.per_host,
+            slowdown: self.demanded_moments(&self.slowdown),
+            queueing_slowdown: self.demanded_moments(&self.queueing_slowdown),
+            response: self.demanded_moments(&self.response),
+            waiting: self.demanded_moments(&self.waiting),
+            per_host,
             makespan: self.makespan,
             measured,
             skipped: self.seen - measured,
             fairness: self.fairness,
-            short_slowdown: self.cfg.split_cutoff.map(|_| self.short_slowdown.finish()),
-            long_slowdown: self.cfg.split_cutoff.map(|_| self.long_slowdown.finish()),
+            short_slowdown: self.eff_split.map(|_| self.short_slowdown.finish()),
+            long_slowdown: self.eff_split.map(|_| self.long_slowdown.finish()),
             slowdown_percentiles: self.percentiles.map(|p| p.estimates()),
-            slo_violations: self.cfg.slo_slowdown.map(|t| (self.slo_violations, t)),
+            slo_violations: self.eff_slo.map(|t| (self.slo_violations, t)),
             records: self.records,
         }
     }
@@ -463,19 +944,36 @@ impl Collector {
     /// Finish the run into an existing result, reusing its buffers.
     ///
     /// Writes exactly what [`Collector::finish`] would return, but keeps
-    /// the collector alive (it is workspace state) and routes every
-    /// growable field through `clone_from`/`extend`, so a result that
-    /// already went through a run of the same shape absorbs this one with
-    /// zero heap allocation — the steady state of a reused-workspace
-    /// sweep.
-    pub fn finish_into(&self, out: &mut SimResult) {
+    /// the collector alive (it is workspace state). The per-host tallies
+    /// and record buffer are *moved* into the result by `mem::swap` —
+    /// zero copies, zero allocations — so the collector's own copies are
+    /// stale afterwards; every engine entry point calls `reset` before
+    /// the next run, which reinstates them. Remaining growable fields
+    /// route through `clone_from`, so a result that already went through
+    /// a run of the same shape absorbs this one with zero heap
+    /// allocation — the steady state of a reused-workspace sweep.
+    // dses-lint: deny(alloc)
+    pub fn finish_into(&mut self, out: &mut SimResult) {
+        self.flush_block();
+        let d = self.cfg.demand.normalized();
         let measured = self.slowdown.count();
-        out.slowdown = self.slowdown.finish();
-        out.queueing_slowdown = self.queueing_slowdown.finish();
-        out.response = self.response.finish();
-        out.waiting = self.waiting.finish();
-        out.per_host.clear();
-        out.per_host.extend_from_slice(&self.per_host);
+        out.slowdown = self.demanded_moments(&self.slowdown);
+        out.queueing_slowdown = self.demanded_moments(&self.queueing_slowdown);
+        out.response = self.demanded_moments(&self.response);
+        out.waiting = self.demanded_moments(&self.waiting);
+        if out.per_host.capacity() >= self.per_host.len() {
+            // steady state: the result's previous buffer (same shape)
+            // comes back to the collector — a pointer swap, not a copy
+            std::mem::swap(&mut out.per_host, &mut self.per_host);
+        } else {
+            // first run into a fresh result: grow the result's buffer
+            // once and keep the collector's for the swap next time
+            out.per_host.clear();
+            out.per_host.extend_from_slice(&self.per_host);
+        }
+        if !d.includes(Demand::PER_HOST) {
+            out.per_host.iter_mut().for_each(|h| *h = HostStats::default());
+        }
         out.makespan = self.makespan;
         out.measured = measured;
         out.skipped = self.seen - measured;
@@ -484,16 +982,24 @@ impl Collector {
             (Some(src), dst) => *dst = Some(src.clone()),
             (None, dst) => *dst = None,
         }
-        out.short_slowdown = self.cfg.split_cutoff.map(|_| self.short_slowdown.finish());
-        out.long_slowdown = self.cfg.split_cutoff.map(|_| self.long_slowdown.finish());
+        out.short_slowdown = self.eff_split.map(|_| self.short_slowdown.finish());
+        out.long_slowdown = self.eff_split.map(|_| self.long_slowdown.finish());
         match (&self.percentiles, &mut out.slowdown_percentiles) {
             (Some(src), Some(dst)) => src.estimates_into(dst),
             (Some(src), dst) => *dst = Some(src.estimates()),
             (None, dst) => *dst = None,
         }
-        out.slo_violations = self.cfg.slo_slowdown.map(|t| (self.slo_violations, t));
-        match (&self.records, &mut out.records) {
-            (Some(src), Some(dst)) => dst.clone_from(src),
+        out.slo_violations = self.eff_slo.map(|t| (self.slo_violations, t));
+        match (&mut self.records, &mut out.records) {
+            (Some(src), Some(dst)) => {
+                // the result's previous buffer comes back to the
+                // collector, cleared, so the next reset reuses its
+                // capacity
+                std::mem::swap(src, dst);
+                src.clear();
+            }
+            // first run into a fresh result: clone so the collector
+            // keeps its buffer (and its capacity) for the swap next time
             (Some(src), dst) => *dst = Some(src.clone()),
             (None, dst) => *dst = None,
         }
@@ -739,5 +1245,206 @@ mod percentile_tests {
     fn percentiles_absent_by_default() {
         let c = Collector::new(1, MetricsConfig::default());
         assert!(c.finish().slowdown_percentiles.is_none());
+    }
+}
+
+#[cfg(test)]
+mod demand_tests {
+    use super::*;
+
+    fn rec(id: u64, arrival: f64, size: f64, start: f64, host: usize) -> JobRecord {
+        JobRecord {
+            id,
+            arrival,
+            size,
+            start,
+            completion: start + size,
+            host,
+        }
+    }
+
+    #[test]
+    fn demand_bit_algebra() {
+        assert_eq!(Demand::FULL, Demand::MEANS | Demand::CLASS_SPLIT | Demand::QUANTILES | Demand::PER_HOST | Demand::RECORDS);
+        assert!(Demand::FULL.includes(Demand::MEANS));
+        assert!(!Demand::MEANS.includes(Demand::PER_HOST));
+        assert!((Demand::MEANS | Demand::PER_HOST).includes(Demand::PER_HOST));
+        // normalization always demands the core moment streams
+        assert!(Demand::PER_HOST.normalized().includes(Demand::MEANS));
+        assert_eq!(MetricsConfig::default().demand, Demand::FULL);
+    }
+
+    #[test]
+    fn record_path_routing() {
+        let base = MetricsConfig::streaming();
+        assert_eq!(resolve_path(&base), RecordPath::Full);
+        let means = MetricsConfig { demand: Demand::MEANS, ..base };
+        assert_eq!(resolve_path(&means), RecordPath::Means);
+        let hosty = MetricsConfig { demand: Demand::MEANS | Demand::PER_HOST, ..base };
+        assert_eq!(resolve_path(&hosty), RecordPath::MeansHost);
+        let batched = MetricsConfig { batched: true, ..base };
+        assert_eq!(resolve_path(&batched), RecordPath::Batched);
+        // a demanded tail accumulator overrides the batching request
+        let tailed = MetricsConfig {
+            batched: true,
+            split_cutoff: Some(1.0),
+            ..base
+        };
+        assert_eq!(resolve_path(&tailed), RecordPath::Full);
+        // ... but an undemanded one does not
+        let masked_tail = MetricsConfig {
+            batched: true,
+            split_cutoff: Some(1.0),
+            demand: Demand::MEANS,
+            ..base
+        };
+        assert_eq!(resolve_path(&masked_tail), RecordPath::Batched);
+        assert_eq!(resolve_path(&MetricsConfig::full_records()), RecordPath::Full);
+    }
+
+    #[test]
+    fn means_tier_matches_full_bitwise_and_masks_the_rest() {
+        let recs: Vec<JobRecord> = (0..257)
+            .map(|i| rec(i, i as f64, 1.0 + (i % 13) as f64, i as f64 + (i % 3) as f64, (i % 4) as usize))
+            .collect();
+        let mut full = Collector::new(4, MetricsConfig::streaming());
+        let mut means = Collector::new(
+            4,
+            MetricsConfig {
+                demand: Demand::MEANS,
+                ..MetricsConfig::streaming()
+            },
+        );
+        for &r in &recs {
+            full.record(r);
+            means.record(r);
+        }
+        let f = full.finish();
+        let m = means.finish();
+        assert_eq!(f.slowdown.mean.to_bits(), m.slowdown.mean.to_bits());
+        assert_eq!(f.slowdown.variance.to_bits(), m.slowdown.variance.to_bits());
+        assert_eq!(f.waiting.mean.to_bits(), m.waiting.mean.to_bits());
+        assert_eq!(f.measured, m.measured);
+        assert_eq!(f.makespan.to_bits(), m.makespan.to_bits());
+        assert_eq!(m.slowdown.min, f64::INFINITY);
+        assert_eq!(m.slowdown.max, f64::NEG_INFINITY);
+        assert!(m.per_host.iter().all(|h| h.jobs == 0 && h.work == 0.0));
+        assert!(f.per_host.iter().any(|h| h.jobs > 0));
+    }
+
+    #[test]
+    fn batched_tier_is_close_and_exact_where_promised() {
+        let recs: Vec<JobRecord> = (0..321)
+            .map(|i| rec(i, i as f64 * 0.5, 0.5 + (i % 17) as f64, i as f64 * 0.5 + (i % 5) as f64, (i % 3) as usize))
+            .collect();
+        let mut scalar = Collector::new(3, MetricsConfig::streaming());
+        let mut batched = Collector::new(
+            3,
+            MetricsConfig {
+                batched: true,
+                ..MetricsConfig::streaming()
+            },
+        );
+        for &r in &recs {
+            scalar.record(r);
+            batched.record(r);
+        }
+        let s = scalar.finish();
+        let b = batched.finish();
+        // exact: counts, extrema, per-host tallies, makespan
+        assert_eq!(b.measured, s.measured);
+        assert_eq!(b.slowdown.min.to_bits(), s.slowdown.min.to_bits());
+        assert_eq!(b.slowdown.max.to_bits(), s.slowdown.max.to_bits());
+        assert_eq!(b.per_host, s.per_host);
+        assert_eq!(b.makespan.to_bits(), s.makespan.to_bits());
+        // ulp-bounded: stream mean and variance
+        for (x, y) in [
+            (&b.slowdown, &s.slowdown),
+            (&b.queueing_slowdown, &s.queueing_slowdown),
+            (&b.response, &s.response),
+            (&b.waiting, &s.waiting),
+        ] {
+            assert!((x.mean - y.mean).abs() <= 1e-12 * y.mean.abs().max(1e-300));
+            assert!((x.variance - y.variance).abs() <= 1e-9 * y.variance.abs().max(1e-300));
+        }
+    }
+
+    #[test]
+    fn soa_block_delivery_matches_per_record_calls_bitwise() {
+        let n = 200;
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| Job {
+                id: i as u64,
+                arrival: i as f64,
+                size: 1.0 + (i % 11) as f64,
+            })
+            .collect();
+        let arrivals: Vec<f64> = jobs.iter().map(|j| j.arrival).collect();
+        let sizes: Vec<f64> = jobs.iter().map(|j| j.size).collect();
+        let inv_sizes: Vec<f64> = sizes.iter().map(|&s| 1.0 / s).collect();
+        let starts: Vec<f64> = arrivals.iter().map(|&a| a + 0.5).collect();
+        let completions: Vec<f64> = starts.iter().zip(&sizes).map(|(&st, &sz)| st + sz).collect();
+        let hosts: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let cfg = MetricsConfig {
+            warmup_jobs: 7,
+            ..MetricsConfig::streaming()
+        };
+        let mut block = Collector::new(2, cfg);
+        block.record_block_with_inv(&jobs, &arrivals, &sizes, &inv_sizes, &starts, &completions, &hosts);
+        let mut scalar = Collector::new(2, cfg);
+        for (j, job) in jobs.iter().enumerate() {
+            scalar.record_with_inv(
+                JobRecord {
+                    id: job.id,
+                    arrival: arrivals[j],
+                    size: sizes[j],
+                    start: starts[j],
+                    completion: completions[j],
+                    host: hosts[j] as usize,
+                },
+                inv_sizes[j],
+            );
+        }
+        let a = block.finish();
+        let b = scalar.finish();
+        assert_eq!(a.slowdown.mean.to_bits(), b.slowdown.mean.to_bits());
+        assert_eq!(a.slowdown.variance.to_bits(), b.slowdown.variance.to_bits());
+        assert_eq!(a.waiting.mean.to_bits(), b.waiting.mean.to_bits());
+        assert_eq!(a.per_host, b.per_host);
+        assert_eq!(a.measured, b.measured);
+        assert_eq!(a.skipped, b.skipped);
+    }
+
+    #[test]
+    fn lane_stats_matches_naive_two_pass() {
+        let xs: Vec<f64> = (0..64).map(|i| (i as f64).mul_add(0.37, -3.0)).collect();
+        let (mean, m2, mn, mx) = lane_stats(&xs);
+        let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let naive_m2 = xs.iter().map(|x| (x - naive_mean) * (x - naive_mean)).sum::<f64>();
+        assert!((mean - naive_mean).abs() <= 1e-13 * naive_mean.abs().max(1.0));
+        assert!((m2 - naive_m2).abs() <= 1e-10 * naive_m2.abs().max(1.0));
+        assert_eq!(mn, *xs.first().unwrap());
+        assert_eq!(mx, *xs.last().unwrap());
+        // short slices (partial final block) go through the same code
+        let (mean1, m21, mn1, mx1) = lane_stats(&xs[..1]);
+        assert_eq!(mean1, xs[0]);
+        assert_eq!(m21, 0.0);
+        assert_eq!((mn1, mx1), (xs[0], xs[0]));
+    }
+
+    #[test]
+    fn reset_re_resolves_the_record_path() {
+        let mut c = Collector::new(2, MetricsConfig {
+            demand: Demand::MEANS,
+            ..MetricsConfig::streaming()
+        });
+        c.record(rec(0, 0.0, 1.0, 0.0, 0));
+        c.reset(2, MetricsConfig::streaming(), 4);
+        c.record(rec(0, 0.0, 2.0, 0.0, 1));
+        let r = c.finish();
+        // back on the full path: extrema and per-host live again
+        assert_eq!(r.measured, 1);
+        assert_eq!(r.slowdown.min, 1.0);
+        assert_eq!(r.per_host[1].jobs, 1);
     }
 }

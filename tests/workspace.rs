@@ -27,6 +27,7 @@ fn rich_cfg() -> MetricsConfig {
         split_cutoff: Some(4.0e4),
         slowdown_percentiles: true,
         slo_slowdown: Some(3.0),
+        ..MetricsConfig::default()
     }
 }
 
