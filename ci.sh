@@ -9,12 +9,22 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 
 # Source-level invariant gate: the per-file rules (determinism,
-# no-alloc, panic-hygiene, float-totality, header-conformance) plus the
+# no-alloc, panic-hygiene, float-totality, header-conformance), the
 # semantic tier (transitive no-alloc/determinism over the call graph,
-# crate-layering enforcement, StateNeeds-vs-usage verification; see
-# DESIGN.md §10). Exits nonzero on any unwaived finding; waivers are
-# inline and carry reasons.
-cargo run --release -q -p dses-lint -- --workspace --semantic
+# crate-layering enforcement, StateNeeds-vs-usage verification), and
+# the dataflow tier (divide budgets, loop-alloc freedom, grow-once
+# workspaces, demand monomorphism; see DESIGN.md §10). Exits nonzero on
+# any unwaived finding; waivers are inline and carry reasons. The tool
+# must stay cheap enough to run on every build — fail if the full
+# three-tier pass takes more than 30 s.
+lint_start=$SECONDS
+cargo run --release -q -p dses-lint -- --workspace --semantic --dataflow
+lint_elapsed=$((SECONDS - lint_start))
+echo "ci: three-tier lint took ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 30 ]; then
+    echo "ci: lint exceeded the 30s budget" >&2
+    exit 1
+fi
 
 # Perf smoke: tiny-config perf_report exercising the parallel sweep, the
 # specialized kernels, and the memoized cutoff solvers. Exits nonzero if

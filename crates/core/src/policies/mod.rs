@@ -61,7 +61,9 @@ pub struct RoundRobin {
 
 impl Dispatcher for RoundRobin {
     fn dispatch(&mut self, _job: &Job, state: &SystemState<'_>, _rng: &mut Rng64) -> usize {
+        // dses-lint: allow(divide-budget) -- usize ring-index modulo; integer arithmetic, not an FP divide
         let target = self.next % state.num_hosts();
+        // dses-lint: allow(divide-budget) -- usize ring-index modulo; integer arithmetic, not an FP divide
         self.next = (self.next + 1) % state.num_hosts();
         target
     }

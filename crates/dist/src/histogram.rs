@@ -41,6 +41,7 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
+            // dses-lint: allow(divide-budget) -- one divide per diagnostic histogram record; bin boundaries are bit-pinned in exhibits, so the span reciprocal is not hoisted
             let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
             let idx = idx.min(self.counts.len() - 1);
             self.counts[idx] += 1;
@@ -164,6 +165,7 @@ impl LogHistogram {
         if key <= 0.0 {
             return 0;
         }
+        // dses-lint: allow(divide-budget) -- fairness binning divides once per record; hoisting 1/span would perturb boundary bins and the curves are bit-pinned exhibits
         let pos = (key.log10() - self.log_lo) / (self.log_hi - self.log_lo);
         let idx = (pos * self.bins.len() as f64).floor();
         (idx.max(0.0) as usize).min(self.bins.len() - 1)

@@ -127,7 +127,9 @@ impl P2Quantile {
             self.positions[i],
             self.positions[i + 1],
         );
+        // dses-lint: allow(divide-budget) -- P² marker interpolation is the estimator's algorithm; paid only when the demand tier requests tail quantiles, never on means-only measured runs
         h + s / (np - nm)
+            // dses-lint: allow(divide-budget) -- P² marker interpolation is the estimator's algorithm; paid only when the demand tier requests tail quantiles, never on means-only measured runs
             * ((n - nm + s) * (hp - h) / (np - n) + (np - n - s) * (h - hm) / (n - nm))
     }
 
@@ -135,6 +137,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = if s > 0.0 { i + 1 } else { i - 1 };
         self.heights[i]
+            // dses-lint: allow(divide-budget) -- P² linear fallback; paid only when the demand tier requests tail quantiles, never on means-only measured runs
             + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 

@@ -119,6 +119,7 @@ impl Rng64 {
     /// Uses the top 53 bits, the standard full-precision `f64` construction.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
+        // dses-lint: allow(divide-budget) -- `1.0 / 2^53` is a compile-time constant fold, not a runtime divide
         (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
@@ -152,6 +153,7 @@ impl Rng64 {
         let mut m = (x as u128) * (n as u128);
         let mut l = m as u64;
         if l < n {
+            // dses-lint: allow(divide-budget) -- u64 modulo on Lemire's rejection path, taken with probability < n/2^64; integer, not an FP divide
             let t = n.wrapping_neg() % n;
             while l < t {
                 x = self.next_raw();
@@ -175,6 +177,7 @@ impl Rng64 {
             let v = 2.0 * self.uniform() - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
+                // dses-lint: allow(divide-budget) -- Marsaglia polar: one divide per normal draw; only the noise-model sensitivity policies draw normals, off the measured kernels
                 return u * (-2.0 * s.ln() / s).sqrt();
             }
         }

@@ -38,6 +38,10 @@ pub struct RuleConfig {
     /// Workspace-relative file paths exempt from the rule (the
     /// "blessed" total-order helpers for `float-totality`).
     pub blessed: Vec<String>,
+    /// `budget = N` — rule-specific integer budget. For `divide-budget`
+    /// it caps the budget any single `divides(N)` annotation may
+    /// declare, keeping per-function budgets honest.
+    pub budget: Option<u32>,
 }
 
 /// Parsed `lint.toml`.
@@ -142,6 +146,7 @@ impl Config {
                         "crates" => rc.crates = Some(value.into_array()?),
                         "exclude_crates" => rc.exclude_crates = value.into_array()?,
                         "blessed" => rc.blessed = value.into_array()?,
+                        "budget" => rc.budget = Some(value.into_int()?),
                         other => {
                             return Err(format!(
                                 "line {lineno}: unknown key `{other}` in [rules.{rule}]"
@@ -171,6 +176,7 @@ fn strip_comment(line: &str) -> &str {
 enum Value {
     Str(String),
     Bool(bool),
+    Int(u32),
     Array(Vec<String>),
 }
 
@@ -179,13 +185,19 @@ impl Value {
         match self {
             Value::Array(a) => Ok(a),
             Value::Str(s) => Ok(vec![s]),
-            Value::Bool(_) => Err("expected an array of strings".into()),
+            Value::Bool(_) | Value::Int(_) => Err("expected an array of strings".into()),
         }
     }
     fn into_bool(self) -> Result<bool, String> {
         match self {
             Value::Bool(b) => Ok(b),
             _ => Err("expected true or false".into()),
+        }
+    }
+    fn into_int(self) -> Result<u32, String> {
+        match self {
+            Value::Int(n) => Ok(n),
+            _ => Err("expected a non-negative integer".into()),
         }
     }
 }
@@ -196,6 +208,12 @@ fn parse_value(text: &str) -> Result<Value, String> {
     }
     if text == "false" {
         return Ok(Value::Bool(false));
+    }
+    if text.bytes().all(|b| b.is_ascii_digit()) && !text.is_empty() {
+        return text
+            .parse::<u32>()
+            .map(Value::Int)
+            .map_err(|_| format!("integer out of range `{text}`"));
     }
     if let Some(inner) = text.strip_prefix('[') {
         let inner = inner
@@ -284,6 +302,21 @@ blessed = ["crates/sim/src/fast.rs"]
         assert!(Config::parse("[workspace]\ntypo = true\n").is_err());
         assert!(Config::parse("[rules.determinism]\ncrate = [\"sim\"]\n").is_err());
         assert!(Config::parse("[rules.x]\nenabled = \"yes\"\n").is_err());
+    }
+
+    #[test]
+    fn integer_budget_keys_parse() {
+        let cfg = Config::parse("[rules.divide-budget]\nbudget = 0\ncrates = [\"sim\"]\n").unwrap();
+        assert_eq!(cfg.rules["divide-budget"].budget, Some(0));
+        let cfg = Config::parse("[rules.divide-budget]\nbudget = 2 # cap\n").unwrap();
+        assert_eq!(cfg.rules["divide-budget"].budget, Some(2));
+        // integers keep the strict-grammar discipline: wrong type, wrong
+        // key, and malformed numbers stay hard errors
+        assert!(Config::parse("[rules.divide-budget]\nbudget = \"0\"\n").is_err());
+        assert!(Config::parse("[rules.divide-budget]\nbudget = -1\n").is_err());
+        assert!(Config::parse("[rules.divide-budget]\nbudgets = 0\n").is_err());
+        assert!(Config::parse("[rules.divide-budget]\nenabled = 1\n").is_err());
+        assert!(Config::parse("[workspace]\nresult_affecting = 3\n").is_err());
     }
 
     #[test]

@@ -101,8 +101,17 @@ pub fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
 }
 
 /// Lint the whole workspace under `root`. With `semantic`, also build
-/// the workspace item graph and run the interprocedural analyses.
-pub fn lint_workspace(root: &Path, cfg: &Config, semantic: bool) -> Result<Report, String> {
+/// the workspace item graph and run the interprocedural analyses; with
+/// `dataflow`, additionally run the per-function CFG tier (divide
+/// budgets, loop-alloc, grow-once, demand-monomorphism). All tiers
+/// route through the same [`Report`], so every output format renders
+/// them uniformly.
+pub fn lint_workspace(
+    root: &Path,
+    cfg: &Config,
+    semantic: bool,
+    dataflow: bool,
+) -> Result<Report, String> {
     let files = collect_workspace(root)?;
     let mut report = Report::default();
     for f in &files {
@@ -120,6 +129,11 @@ pub fn lint_workspace(root: &Path, cfg: &Config, semantic: bool) -> Result<Repor
         report
             .findings
             .extend(crate::semantic::check_workspace(root, &files, cfg));
+    }
+    if dataflow {
+        report
+            .findings
+            .extend(crate::dataflow::check_workspace(&files, cfg));
     }
     report.sort();
     Ok(report)

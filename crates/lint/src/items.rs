@@ -226,6 +226,10 @@ pub enum DirectiveKind {
     },
     /// `deny(alloc)` — opts the next fn into the no-alloc rule.
     DenyAlloc,
+    /// `divides(N)` — declares the next fn's divide budget: at most `N`
+    /// loop-weighted float `/` / `%` sites reachable through calls
+    /// (checked by the dataflow tier's `divide-budget` rule).
+    Divides(u32),
 }
 
 impl Directive {
@@ -237,7 +241,7 @@ impl Directive {
                 rules.iter().any(|r| r == rule)
                     && (*file_scope || self.covers == line || self.line == line)
             }
-            DirectiveKind::DenyAlloc => false,
+            DirectiveKind::DenyAlloc | DirectiveKind::Divides(_) => false,
         }
     }
 }
@@ -328,6 +332,22 @@ fn parse_directive_text(
         (rest, true)
     } else if let Some(rest) = text.strip_prefix("allow(") {
         (rest, false)
+    } else if let Some(rest) = text.strip_prefix("divides(") {
+        let rest = rest.trim();
+        let Some(close) = rest.find(')') else {
+            issue("unterminated budget in `divides(N)`".to_string());
+            return None;
+        };
+        return match rest[..close].trim().parse::<u32>() {
+            Ok(n) => Some(DirectiveKind::Divides(n)),
+            Err(_) => {
+                issue(format!(
+                    "divide budget must be a small non-negative integer, got `{}`",
+                    rest[..close].trim()
+                ));
+                None
+            }
+        };
     } else if let Some(rest) = text.strip_prefix("deny(") {
         let rest = rest.trim();
         if rest
@@ -448,8 +468,19 @@ pub struct FnItem {
     pub in_test: bool,
     /// Annotated `// dses-lint: deny(alloc)`.
     pub deny_alloc: bool,
+    /// Annotated `// dses-lint: divides(N)`: the declared divide budget
+    /// and the line of the directive comment.
+    pub divides: Option<(u32, u32)>,
     /// True when the item has a body (trait required methods don't).
     pub has_body: bool,
+    /// Code positions (into [`Code`] built from the same source) of the
+    /// body's `{` and `}` — lets the dataflow tier rebuild a CFG for
+    /// this function without re-finding the item.
+    pub body: Option<(usize, usize)>,
+    /// Names of `const` generic parameters (`record_core::<const
+    /// EXTREMA: bool, …>` → `["EXTREMA", …]`) — the monomorphization
+    /// axes the `demand-monomorphism` rule keys on.
+    pub const_params: Vec<String>,
     /// Call sites in the body (nested closures included, nested `fn`
     /// bodies excluded — those get their own item).
     pub calls: Vec<CallSite>,
@@ -844,9 +875,15 @@ impl<'s> Walker<'s> {
         let name = self.code.text(p + 1).trim_start_matches("r#").to_string();
         let mut q = p + 2;
         let mut bounds: Vec<(String, String)> = Vec::new();
+        let mut const_params: Vec<String> = Vec::new();
         if self.code.get(q) == Some("<") {
             let close = self.skip_angles(q);
             self.scan_generic_bounds(q + 1, close, &mut bounds);
+            for c in q + 1..close {
+                if self.code.text(c) == "const" && self.is_ident(c + 1) {
+                    const_params.push(self.code.text(c + 1).to_string());
+                }
+            }
             q = close + 1;
         }
         let mut params: Vec<(String, String)> = Vec::new();
@@ -911,7 +948,10 @@ impl<'s> Walker<'s> {
             end_line: body.map_or(self.code.line(p), |(_, c)| self.code.line(c)),
             in_test: self.in_test(p),
             deny_alloc: false,
+            divides: None,
             has_body: body.is_some(),
+            body,
+            const_params,
             calls: Vec::new(),
             allocs: Vec::new(),
             nondet: Vec::new(),
@@ -1265,13 +1305,16 @@ impl<'s> Walker<'s> {
         self.out.directives.iter().any(|d| d.waives(rule, line))
     }
 
-    /// Resolve `deny(alloc)` directives onto the first fn at or after
-    /// the line each covers — same convention as the per-file engine.
+    /// Resolve `deny(alloc)` and `divides(N)` directives onto the first
+    /// fn at or after the line each covers — same convention as the
+    /// per-file engine.
     fn apply_deny_alloc(&mut self) {
         for d in &self.out.directives {
-            if !matches!(d.kind, DirectiveKind::DenyAlloc) {
-                continue;
-            }
+            let budget = match d.kind {
+                DirectiveKind::DenyAlloc => None,
+                DirectiveKind::Divides(n) => Some(n),
+                DirectiveKind::Allow { .. } => continue,
+            };
             if let Some(f) = self
                 .out
                 .fns
@@ -1279,7 +1322,10 @@ impl<'s> Walker<'s> {
                 .filter(|f| f.line >= d.covers)
                 .min_by_key(|f| f.line)
             {
-                f.deny_alloc = true;
+                match budget {
+                    None => f.deny_alloc = true,
+                    Some(n) => f.divides = Some((n, d.line)),
+                }
             }
         }
     }

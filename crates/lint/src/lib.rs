@@ -27,6 +27,12 @@
 //! transitive no-alloc, transitive determinism, crate-layering
 //! enforcement, and `StateNeeds`-vs-usage verification.
 //!
+//! The third tier (`--dataflow`) recovers a per-function control-flow
+//! graph from the token stream ([`cfg`]) and runs hot-loop dataflow
+//! analyses ([`dataflow`]): divide budgets (`// dses-lint: divides(N)`),
+//! loop-allocation freedom, grow-once workspace buffers, and
+//! demand-monomorphism of const-generic record paths.
+//!
 //! ## Waivers
 //!
 //! Violations are suppressed inline, never globally:
@@ -43,7 +49,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
 pub mod driver;
 pub mod graph;
 pub mod items;

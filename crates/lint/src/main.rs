@@ -3,6 +3,7 @@
 //! ```text
 //! dses-lint --workspace            # lint every crate, exit 1 on findings
 //! dses-lint --workspace --semantic # also run the workspace-wide analyses
+//! dses-lint --workspace --semantic --dataflow # full three-tier run
 //! dses-lint --workspace --json     # machine-readable output
 //! dses-lint crates/sim/src/fast.rs # lint specific files
 //! dses-lint --list-rules           # print the rule catalogue
@@ -23,6 +24,7 @@ enum Format {
 struct Args {
     workspace: bool,
     semantic: bool,
+    dataflow: bool,
     format: Format,
     verbose: bool,
     list_rules: bool,
@@ -34,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         workspace: false,
         semantic: false,
+        dataflow: false,
         format: Format::Text,
         verbose: false,
         list_rules: false,
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--workspace" => args.workspace = true,
             "--semantic" => args.semantic = true,
+            "--dataflow" => args.dataflow = true,
             "--json" => args.format = Format::Json,
             "--format" => {
                 let v = iter.next().ok_or("--format needs a value (text|json|github)")?;
@@ -75,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
     if args.semantic && !args.workspace {
         return Err("--semantic needs --workspace (the analyses span the whole tree)".into());
     }
+    if args.dataflow && !args.workspace {
+        return Err("--dataflow needs --workspace (budgets compose across the call graph)".into());
+    }
     Ok(args)
 }
 
@@ -82,7 +89,7 @@ const HELP: &str = "\
 dses-lint — enforce determinism, no-alloc, and panic-hygiene invariants
 
 USAGE:
-    dses-lint --workspace [--semantic] [--format text|json|github] [--verbose] [--root <dir>]
+    dses-lint --workspace [--semantic] [--dataflow] [--format text|json|github] [--verbose] [--root <dir>]
     dses-lint [--json] <file>...
     dses-lint --list-rules
 
@@ -91,6 +98,9 @@ FLAGS:
     --semantic     also build the item graph and run the workspace-wide
                    analyses (no-alloc-transitive, determinism-transitive,
                    layering, state-needs, waiver reachability)
+    --dataflow     also recover per-function CFGs and run the hot-loop
+                   dataflow analyses (divide-budget, loop-alloc,
+                   grow-once, demand-monomorphism)
     --format <f>   output format: text (default), json, or github
                    (::error/::warning workflow annotations)
     --json         shorthand for --format json
@@ -110,6 +120,8 @@ fn run() -> Result<bool, String> {
         for r in dses_lint::rules::RULE_IDS {
             let tier = if dses_lint::rules::SEMANTIC_RULES.contains(r) {
                 " (semantic tier: --workspace --semantic)"
+            } else if dses_lint::rules::DATAFLOW_RULES.contains(r) {
+                " (dataflow tier: --workspace --dataflow)"
             } else {
                 ""
             };
@@ -117,6 +129,7 @@ fn run() -> Result<bool, String> {
         }
         println!("  unused-waiver (warning only)");
         println!("opt functions into allocation checking with `// dses-lint: deny(alloc)`");
+        println!("declare a kernel's divide budget with `// dses-lint: divides(N)`");
         return Ok(true);
     }
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
@@ -127,7 +140,7 @@ fn run() -> Result<bool, String> {
     };
     let cfg = dses_lint::driver::load_config(&root)?;
     let report = if args.workspace {
-        dses_lint::driver::lint_workspace(&root, &cfg, args.semantic)?
+        dses_lint::driver::lint_workspace(&root, &cfg, args.semantic, args.dataflow)?
     } else {
         let files: Vec<PathBuf> = args
             .files

@@ -87,6 +87,10 @@ pub const RULE_IDS: &[&str] = &[
     "no-alloc-transitive",
     "layering",
     "state-needs",
+    "divide-budget",
+    "loop-alloc",
+    "grow-once",
+    "demand-monomorphism",
 ];
 
 /// Rules enforced by the semantic (workspace-wide) tier. Their waivers
@@ -97,6 +101,16 @@ pub const SEMANTIC_RULES: &[&str] = &[
     "no-alloc-transitive",
     "layering",
     "state-needs",
+];
+
+/// Rules enforced by the dataflow (CFG) tier, `--dataflow`. Like the
+/// semantic rules, their waivers are resolved workspace-wide, so the
+/// per-file engine must not judge them unused.
+pub const DATAFLOW_RULES: &[&str] = &[
+    "divide-budget",
+    "loop-alloc",
+    "grow-once",
+    "demand-monomorphism",
 ];
 
 /// Check one file against every applicable rule, resolving waivers.
@@ -177,9 +191,12 @@ impl Engine<'_> {
                         );
                     }
                 }
-                // Waivers naming a semantic rule are consumed by the
-                // workspace pass; this engine cannot judge them unused.
-                let semantic = rules.iter().any(|r| SEMANTIC_RULES.contains(&r.as_str()));
+                // Waivers naming a semantic or dataflow rule are
+                // consumed by the workspace passes; this engine cannot
+                // judge them unused.
+                let semantic = rules.iter().any(|r| {
+                    SEMANTIC_RULES.contains(&r.as_str()) || DATAFLOW_RULES.contains(&r.as_str())
+                });
                 if !d.used.get() && !semantic {
                     self.emit(
                         "unused-waiver",

@@ -40,8 +40,9 @@ use std::path::Path;
 
 /// Reflexive-transitive closure of the declared layering DAG: which
 /// crates each crate may link against (itself included). Scopes the
-/// graph's receiver-unknown method resolution.
-fn layering_closure(cfg: &Config) -> BTreeMap<String, BTreeSet<String>> {
+/// graph's receiver-unknown method resolution (shared with the
+/// dataflow tier, which builds the same graph).
+pub(crate) fn layering_closure(cfg: &Config) -> BTreeMap<String, BTreeSet<String>> {
     let mut out = BTreeMap::new();
     for c in cfg.layering.keys() {
         let mut closure: BTreeSet<String> = BTreeSet::new();
@@ -73,7 +74,7 @@ pub fn check_workspace(root: &Path, files: &[SourceFile], cfg: &Config) -> Vec<F
 
 /// Is `rule` waived at `line` of file `file_idx`? Marks the directive
 /// used so `--verbose` renders honoured waivers.
-fn waived(g: &Graph<'_>, file_idx: usize, rule: &str, line: u32) -> bool {
+pub(crate) fn waived(g: &Graph<'_>, file_idx: usize, rule: &str, line: u32) -> bool {
     let mut hit = false;
     for d in &g.files[file_idx].items.directives {
         if d.waives(rule, line) {
@@ -86,7 +87,7 @@ fn waived(g: &Graph<'_>, file_idx: usize, rule: &str, line: u32) -> bool {
 
 /// The line of the root's own outgoing edge on the BFS path to `n` —
 /// the place in the root's file where the offending chain begins.
-fn root_edge_line(
+pub(crate) fn root_edge_line(
     parents: &BTreeMap<FnId, Option<(FnId, u32)>>,
     n: FnId,
     root: FnId,

@@ -83,11 +83,13 @@ impl Host {
 
     /// Account for an accepted job (Lindley update), mirroring the fast
     /// engine's assignment arithmetic.
+    // dses-lint: divides(1)
     fn accept(&mut self, job: &Job, now: f64) {
         self.free_at = self.free_at.max(now) + job.size / self.speed;
     }
 
     /// Begin serving `job` at `now`; returns the completion time.
+    // dses-lint: divides(1)
     fn start_service(&mut self, job: Job, now: f64) -> f64 {
         debug_assert!(self.serving.is_none(), "host already busy");
         let completion = now + job.size / self.speed;
@@ -221,6 +223,12 @@ impl EventEngine {
     /// [`EventEngine::run_dispatch`] through caller-owned buffers
     /// (allocation-free in steady state, like
     /// [`crate::fast::simulate_dispatch_into`]).
+    ///
+    /// Three divides per job: the Lindley update in [`Host::accept`],
+    /// the completion time in [`Host::start_service`], and the
+    /// collector's slowdown reciprocal — the oracle engine pays for
+    /// clarity what the fast kernels hoist.
+    // dses-lint: divides(3)
     // dses-lint: deny(alloc)
     pub fn run_dispatch_into<P: Dispatcher + ?Sized>(
         &self,
@@ -314,6 +322,7 @@ impl EventEngine {
     }
 
     /// [`EventEngine::run_central_queue`] through caller-owned buffers.
+    // dses-lint: divides(2)
     // dses-lint: deny(alloc)
     pub fn run_central_queue_into(
         &self,

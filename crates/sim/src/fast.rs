@@ -89,6 +89,7 @@ impl SpeedModel for UnitSpeeds {
     fn hosts(&self) -> usize {
         self.0
     }
+    // dses-lint: divides(0)
     #[inline]
     fn service(&self, _host: usize, size: f64) -> f64 {
         size
@@ -103,6 +104,7 @@ impl SpeedModel for PerHostSpeeds<'_> {
     fn hosts(&self) -> usize {
         self.0.len()
     }
+    // dses-lint: divides(1)
     #[inline]
     fn service(&self, host: usize, size: f64) -> f64 {
         size / self.0[host]
@@ -133,6 +135,7 @@ const ARGMIN_LANES: usize = 8;
 /// candidates, and the `(min value, then min index)` horizontal
 /// reduction recovers exactly it. The scalar tail covers indices after
 /// the chunked prefix, where strict `<` alone preserves the tie-break.
+// dses-lint: divides(0)
 // dses-lint: deny(alloc)
 #[must_use]
 pub(crate) fn argmin_work_left(free_at: &[f64], now: f64) -> usize {
@@ -207,6 +210,7 @@ const SITA_LINEAR_MAX: usize = 16;
 /// `partition_point`. Ties land left either way: `size == cuts[k]`
 /// fails `size > cuts[k]` (pinned in the tie-dense unit test below and
 /// in `tests/segmented.rs`).
+// dses-lint: divides(0)
 // dses-lint: deny(alloc)
 #[inline]
 #[must_use]
@@ -339,6 +343,7 @@ const EMPTY_CHAIN: Chain<'static> = Chain {
 /// shortest among them. `G` is const so the step body fully unrolls
 /// into `G` independent `max`/`add` chains with no per-step branches;
 /// the caller re-compacts and re-dispatches when a segment runs dry.
+// dses-lint: divides(1)
 // dses-lint: deny(alloc)
 #[inline(always)]
 fn march_chains<'a, const G: usize, S: SpeedModel>(
@@ -395,6 +400,7 @@ fn march_chains<'a, const G: usize, S: SpeedModel>(
 /// `traces[r]`, draws from `rngs[r]`, owns the bank
 /// `free_at[r*h..(r+1)*h]` and records into `collectors[r]`. The solo
 /// kernel is the 1-lane case.
+// dses-lint: divides(1)
 // dses-lint: deny(alloc)
 fn run_segmented_core<S, F>(
     traces: &[&Trace],
@@ -463,7 +469,9 @@ fn run_segmented_core<S, F>(
             let g = (total - k).min(SEG_CHAINS);
             let mut chains = [EMPTY_CHAIN; SEG_CHAINS];
             for (t, chain) in chains.iter_mut().take(g).enumerate() {
+                // dses-lint: allow(divide-budget) -- usize lane-index decomposition; integer, once per chain group per compaction round, not per job
                 let r = (k + t) / hosts;
+                // dses-lint: allow(divide-budget) -- usize lane-index decomposition; integer, once per chain group per compaction round, not per job
                 let c = (k + t) % hosts;
                 let off = &offsets[r * (hosts + 1)..(r + 1) * (hosts + 1)];
                 let lo = if c == 0 { 0 } else { off[c - 1] as usize };
@@ -745,6 +753,7 @@ pub fn simulate_dispatch_speeds_into<P: Dispatcher + ?Sized>(
 /// update `start = max(now, free_at)`, `free_at = start + service` —
 /// so the choice of loop never changes a schedule, only how much host
 /// bookkeeping is maintained between dispatches.
+// dses-lint: divides(1)
 // dses-lint: deny(alloc)
 #[allow(clippy::too_many_arguments)]
 fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
@@ -832,6 +841,7 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
     match selected {
         Selected::Random => {
             if seg_run {
+                // dses-lint: allow(divide-budget) -- mode arms are mutually exclusive per run; each path performs at most one service divide per job
                 run_segmented_core(
                     &[trace],
                     speeds,
@@ -848,6 +858,7 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
                     },
                 );
             } else {
+                // dses-lint: allow(divide-budget) -- mode arms are mutually exclusive per run; each path performs at most one service divide per job
                 run_static_kernel(
                     trace,
                     speeds,
@@ -935,6 +946,7 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
             return;
         }
         Selected::WorkLeft => {
+            // dses-lint: allow(divide-budget) -- mode arms are mutually exclusive per run; each path performs at most one service divide per job
             run_work_left_kernel(trace, speeds, free_at, collector);
             collector.finish_into(out);
             return;
@@ -1115,6 +1127,7 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
 /// and everything else is the bare Lindley recursion. With the virtual
 /// call gone the loop body is straight-line code the compiler can
 /// software-pipeline across iterations.
+// dses-lint: divides(1)
 // dses-lint: deny(alloc)
 fn run_static_kernel<S: SpeedModel, F: FnMut(f64, &mut Rng64) -> usize>(
     trace: &Trace,
@@ -1156,6 +1169,7 @@ fn run_static_kernel<S: SpeedModel, F: FnMut(f64, &mut Rng64) -> usize>(
 
 /// The inlined least-work-left loop: [`argmin_work_left`] directly over
 /// the Lindley scalars — no view refresh, no virtual call.
+// dses-lint: divides(1)
 // dses-lint: deny(alloc)
 fn run_work_left_kernel<S: SpeedModel>(
     trace: &Trace,
@@ -1193,6 +1207,7 @@ fn run_work_left_kernel<S: SpeedModel>(
 /// records into `collectors[r]` — per-lane arithmetic is byte-for-byte
 /// the solo kernel's, interleaved only at the instruction level, so the
 /// CPU overlaps the lanes' dependent accumulator chains.
+// dses-lint: divides(1)
 // dses-lint: deny(alloc)
 fn run_fused_static<S, F>(
     traces: &[&Trace],
@@ -1234,6 +1249,7 @@ fn run_fused_static<S, F>(
 
 /// [`run_fused_static`]'s least-work-left sibling: the per-lane argmin
 /// scans only that lane's bank.
+// dses-lint: divides(1)
 // dses-lint: deny(alloc)
 fn run_fused_work_left<S: SpeedModel>(
     traces: &[&Trace],
@@ -1280,6 +1296,7 @@ pub fn simulate_dispatch_fused<P: Dispatcher>(
     cfgs: &[MetricsConfig],
 ) -> Vec<SimResult> {
     with_thread_workspace(|ws| {
+        // dses-lint: allow(loop-alloc) -- with_thread_workspace invokes the closure exactly once; this Vec is the per-call result buffer, not per-job
         let mut out = Vec::new();
         simulate_dispatch_fused_into(traces, hosts, policies, seeds, cfgs, ws, &mut out);
         out

@@ -396,6 +396,7 @@ fn lane_stats(x: &[f64]) -> (f64, f64, f64, f64) {
     // a full block divides by 64 — a power of two, so the constant
     // multiply is the exact same value and the steady-state flush stays
     // divide-free; only tail blocks pay one divide
+    // dses-lint: allow(divide-budget) -- `1.0 / BLOCK` is a compile-time constant fold; the `/ len` arm runs only for the final partial block, once per run
     let mean = if x.len() == BLOCK { sum * (1.0 / BLOCK as f64) } else { sum / x.len() as f64 };
     let mut m2s = [0.0f64; 8];
     for c in x.chunks(8) {
@@ -607,6 +608,7 @@ impl Collector {
     /// and one `1/size` serves both slowdown ratios — two divides per job
     /// where the naive form issues fourteen. Divide throughput, not
     /// flops, bounds the specialized kernels (see DESIGN.md §11).
+    // dses-lint: divides(1)
     #[inline]
     pub fn record(&mut self, rec: JobRecord) {
         self.record_with_inv(rec, 1.0 / rec.size);
@@ -619,6 +621,7 @@ impl Collector {
     /// single IEEE divide this method would otherwise issue per job, so
     /// results are bitwise unchanged (a `debug_assert` pins the bit
     /// pattern). This takes the metrics path to one divide per job.
+    // dses-lint: divides(0)
     // dses-lint: deny(alloc)
     #[inline]
     pub fn record_with_inv(&mut self, rec: JobRecord, inv_size: f64) {
@@ -637,6 +640,7 @@ impl Collector {
     /// percentiles, SLO counter, record buffer). Every demanded field
     /// computes in exactly the pre-tier order, so demanded outputs stay
     /// bitwise identical across tiers.
+    // dses-lint: divides(0)
     #[inline(always)]
     fn record_core<const EXTREMA: bool, const HOST: bool, const TAIL: bool>(
         &mut self,
@@ -647,6 +651,7 @@ impl Collector {
         debug_assert!(rec.completion >= rec.start, "negative service");
         debug_assert_eq!(
             inv_size.to_bits(),
+            // dses-lint: allow(divide-budget) -- debug_assert reciprocal pin: compiled out of release builds, never on the measured path
             (1.0 / rec.size).to_bits(),
             "inv_size must be the bitwise reciprocal of rec.size"
         );
@@ -661,6 +666,7 @@ impl Collector {
         // hand-built collectors that outgrow their hint.
         let inv_n = match self.inv_n.get(count) {
             Some(&v) => v,
+            // dses-lint: allow(divide-budget) -- reciprocal-table miss: only hand-built collectors that outgrow their reset hint land here; engine runs always hit the table
             None => 1.0 / (count + 1) as f64,
         };
         let response = rec.completion - rec.arrival;
@@ -684,14 +690,27 @@ impl Collector {
         }
         if TAIL {
             if let Some(f) = &mut self.fairness {
+                // dses-lint: allow(divide-budget) -- name-resolution collision: `f` is the fairness LogHistogram, not the Collector; its binning divide is waived at its own site
                 f.record(rec.size, s);
             }
             if let Some(cutoff) = self.eff_split {
-                if rec.size <= cutoff {
-                    self.short_slowdown.push(s);
+                // The class streams advance one at a time (a job is short
+                // or long, never both), so the lockstep `inv_n` above is
+                // the wrong count — but the same table serves: index it
+                // by the chosen stream's own count. Same bits as the
+                // divide `OnlineMoments::push` would issue.
+                let m = if rec.size <= cutoff {
+                    &mut self.short_slowdown
                 } else {
-                    self.long_slowdown.push(s);
-                }
+                    &mut self.long_slowdown
+                };
+                let k = m.count() as usize;
+                let inv = match self.inv_n.get(k) {
+                    Some(&v) => v,
+                    // dses-lint: allow(divide-budget) -- reciprocal-table miss: only hand-built collectors that outgrow their reset hint land here; engine runs always hit the table
+                    None => 1.0 / (k + 1) as f64,
+                };
+                m.push_with_inv(s, inv);
             }
             if let Some(p) = &mut self.percentiles {
                 p.push(s);
@@ -715,6 +734,7 @@ impl Collector {
         debug_assert!(rec.completion >= rec.start, "negative service");
         debug_assert_eq!(
             inv_size.to_bits(),
+            // dses-lint: allow(divide-budget) -- debug_assert reciprocal pin: compiled out of release builds, never on the measured path
             (1.0 / rec.size).to_bits(),
             "inv_size must be the bitwise reciprocal of rec.size"
         );
@@ -785,6 +805,7 @@ impl Collector {
     /// Equivalent to calling [`Collector::record_with_inv`] once per
     /// index in order (bitwise so on the per-record paths). All slices
     /// must have equal length; `jobs` supplies the ids.
+    // dses-lint: divides(0)
     // dses-lint: deny(alloc)
     #[allow(clippy::too_many_arguments)]
     pub fn record_block_with_inv(
@@ -864,6 +885,7 @@ impl Collector {
                 debug_assert!(completions[j + k] >= starts[j + k], "negative service");
                 debug_assert_eq!(
                     inv_sizes[j + k].to_bits(),
+                    // dses-lint: allow(divide-budget) -- debug_assert reciprocal pin: compiled out of release builds, never on the measured path
                     (1.0 / sizes[j + k]).to_bits(),
                     "inv_size must be the bitwise reciprocal of size"
                 );

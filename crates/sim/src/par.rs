@@ -266,6 +266,7 @@ impl WorkerPool {
             let shared = Arc::clone(&self.shared);
             let id = state.spawned;
             std::thread::Builder::new()
+                // dses-lint: allow(loop-alloc) -- names the pool threads; this loop runs once per worker at pool growth, never per job
                 .name(format!("dses-pool-{id}"))
                 .spawn(move || worker_loop(&shared))
                 .expect("failed to spawn pool worker"); // dses-lint: allow(panic-hygiene) -- cannot run a sweep without threads; abort is the only option
