@@ -34,6 +34,10 @@
 //!    merge, with full-demand record identity, MEANS-tier bit identity
 //!    on every demanded field, batched ulp bounds, and zero-alloc gates.
 //!    Written to `BENCH_metrics.json`.
+//! 9. **Lint tiers** — the four-tier `dses-lint` static gate `ci.sh`
+//!    runs on every build, timed per tier configuration on the shipped
+//!    tree, with a cleanliness gate in both modes. Written to
+//!    `BENCH_lint.json`.
 //!
 //! Run with `cargo run --release -p dses-bench --bin perf_report`
 //! (release strongly recommended: the full grid simulates ~1.4M jobs).
@@ -1592,6 +1596,40 @@ fn main() {
             );
         }
     }
+    // Lint tiers: the four-tier static gate ci.sh runs on every build,
+    // timed per configuration on the shipped tree. The per-file tier is
+    // always on; each row adds one workspace tier. Runs in smoke mode
+    // too, where it doubles as a check that the tree is clean under
+    // every tier.
+    println!("lint tiers (static gate on the shipped tree):");
+    let lint_root = dses_lint::driver::find_workspace_root(std::path::Path::new(env!(
+        "CARGO_MANIFEST_DIR"
+    )))
+    .expect("bench crate sits inside the workspace");
+    let lint_cfg = dses_lint::driver::load_config(&lint_root).expect("lint.toml parses");
+    let mut lint_rows: Vec<(&str, f64, usize, bool)> = Vec::new();
+    let mut lint_clean = true;
+    for (label, sem, flow, mir) in [
+        ("file", false, false, false),
+        ("file+semantic", true, false, false),
+        ("file+semantic+dataflow", true, true, false),
+        ("file+semantic+dataflow+mirrors", true, true, true),
+    ] {
+        let start = Instant::now();
+        let report = dses_lint::driver::lint_workspace(&lint_root, &lint_cfg, sem, flow, mir)
+            .expect("workspace walk");
+        let secs = start.elapsed().as_secs_f64();
+        let clean = report.clean();
+        lint_clean &= clean;
+        println!(
+            "  {label:<30} {:>10}   {} file(s), {} finding(s), clean: {clean}",
+            fmt_duration(start.elapsed()),
+            report.files_scanned,
+            report.findings.len(),
+        );
+        lint_rows.push((label, secs, report.files_scanned, clean));
+    }
+
     let bit_identical = sweep_identical
         && kernels_identical
         && cutoffs.identical
@@ -1812,6 +1850,21 @@ fn main() {
         );
         std::fs::write("BENCH_metrics.json", &json).expect("write BENCH_metrics.json");
         println!("wrote BENCH_metrics.json");
+
+        let lint_tier_rows: Vec<String> = lint_rows
+            .iter()
+            .map(|(label, secs, files, clean)| {
+                format!(
+                    "    {{\"tiers\": \"{label}\", \"secs\": {secs:.4}, \"files_scanned\": {files}, \"clean\": {clean}}}"
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"configurations\": [\n{}\n  ],\n  \"clean\": {lint_clean}\n}}\n",
+            lint_tier_rows.join(",\n")
+        );
+        std::fs::write("BENCH_lint.json", &json).expect("write BENCH_lint.json");
+        println!("wrote BENCH_lint.json");
         if means_speedup_h8 < 1.3 {
             println!("WARNING: MEANS collector tier is below the 1.3x target at h=8");
         }
@@ -1893,6 +1946,10 @@ fn main() {
 
     if !bit_identical {
         eprintln!("ERROR: an optimised path diverged from its reference");
+        std::process::exit(1);
+    }
+    if !lint_clean {
+        eprintln!("ERROR: the shipped tree is not lint-clean under all four tiers");
         std::process::exit(1);
     }
 }

@@ -88,12 +88,19 @@ const GROW_VERBS: &[&str] = &[
 #[must_use]
 pub fn check_workspace(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
     let g = Graph::build_scoped(files, layering_closure(cfg));
-    let flows = Flows::build(&g);
+    check_graph(&g, cfg)
+}
+
+/// Run every dataflow analysis over a prebuilt item graph — the driver
+/// builds one graph and shares it across the workspace tiers' threads.
+#[must_use]
+pub fn check_graph(g: &Graph<'_>, cfg: &Config) -> Vec<Finding> {
+    let flows = Flows::build(g);
     let mut out = Vec::new();
-    divide_budget(&g, &flows, cfg, &mut out);
-    loop_alloc(&g, &flows, cfg, &mut out);
-    grow_once(&g, &flows, cfg, &mut out);
-    demand_monomorphism(&g, cfg, &mut out);
+    divide_budget(g, &flows, cfg, &mut out);
+    loop_alloc(g, &flows, cfg, &mut out);
+    grow_once(g, &flows, cfg, &mut out);
+    demand_monomorphism(g, cfg, &mut out);
     out
 }
 

@@ -12,8 +12,10 @@
 //!   (inert lint-test data, deliberately full of violations).
 
 use crate::config::Config;
-use crate::report::Report;
-use crate::rules::{check_file, FileInput, FileKind, RootKind};
+use crate::graph::Graph;
+use crate::items::DirectiveKind;
+use crate::report::{Finding, Report, Severity};
+use crate::rules::{check_file, tier_of, FileInput, FileKind, RootKind};
 use std::path::{Path, PathBuf};
 
 /// Locate the workspace root: walk up from `start` to the first
@@ -103,40 +105,133 @@ pub fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
 /// Lint the whole workspace under `root`. With `semantic`, also build
 /// the workspace item graph and run the interprocedural analyses; with
 /// `dataflow`, additionally run the per-function CFG tier (divide
-/// budgets, loop-alloc, grow-once, demand-monomorphism). All tiers
-/// route through the same [`Report`], so every output format renders
-/// them uniformly.
+/// budgets, loop-alloc, grow-once, demand-monomorphism); with
+/// `mirrors`, additionally prove the declared mirror-group bit-identity
+/// contracts. All tiers route through the same [`Report`], so every
+/// output format renders them uniformly.
+///
+/// The tiers run concurrently on std threads: the item graph is built
+/// once and shared (directive used-flags are atomic), the per-file
+/// engine is chunked across workers, and each active workspace tier
+/// gets its own thread. Findings are merged in a fixed order (per-file
+/// by path, then semantic, dataflow, mirrors) before the final sort,
+/// so the report is deterministic regardless of scheduling.
 pub fn lint_workspace(
     root: &Path,
     cfg: &Config,
     semantic: bool,
     dataflow: bool,
+    mirrors: bool,
 ) -> Result<Report, String> {
     let files = collect_workspace(root)?;
+    let graph = (semantic || dataflow || mirrors)
+        .then(|| Graph::build_scoped(&files, crate::semantic::layering_closure(cfg)));
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .clamp(1, 8);
+    let chunk = files.len().div_ceil(workers).max(1);
     let mut report = Report::default();
-    for f in &files {
-        let input = FileInput {
-            path: &f.rel,
-            crate_id: &f.crate_id,
-            kind: f.kind,
-            root: f.root,
-            src: &f.src,
+    let (file_chunks, sem_out, flow_out, mirror_out) = std::thread::scope(|s| {
+        let file_handles: Vec<_> = files
+            .chunks(chunk)
+            .map(|batch| {
+                s.spawn(move || {
+                    batch
+                        .iter()
+                        .map(|f| {
+                            let input = FileInput {
+                                path: &f.rel,
+                                crate_id: &f.crate_id,
+                                kind: f.kind,
+                                root: f.root,
+                                src: &f.src,
+                            };
+                            check_file(&input, cfg)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let g = graph.as_ref();
+        let sem = g
+            .filter(|_| semantic)
+            .map(|g| s.spawn(move || crate::semantic::check_graph(root, g, cfg)));
+        let flow = g
+            .filter(|_| dataflow)
+            .map(|g| s.spawn(move || crate::dataflow::check_graph(g, cfg)));
+        let mir = g
+            .filter(|_| mirrors)
+            .map(|g| s.spawn(move || crate::mirrors::check_graph(g, cfg)));
+        let file_chunks: Vec<Vec<Vec<Finding>>> = file_handles
+            .into_iter()
+            // dses-lint: allow(panic-hygiene) -- a worker only panics if a rule itself panicked; propagate it
+            .map(|h| h.join().expect("lint worker panicked"))
+            .collect();
+        let take = |h: Option<std::thread::ScopedJoinHandle<'_, Vec<Finding>>>| {
+            // dses-lint: allow(panic-hygiene) -- same propagation for the tier threads
+            h.map_or_else(Vec::new, |h| h.join().expect("lint tier panicked"))
         };
-        report.findings.extend(check_file(&input, cfg));
+        (file_chunks, take(sem), take(flow), take(mir))
+    });
+    for per_file in file_chunks.into_iter().flatten() {
+        report.findings.extend(per_file);
         report.files_scanned += 1;
     }
-    if semantic {
-        report
-            .findings
-            .extend(crate::semantic::check_workspace(root, &files, cfg));
-    }
-    if dataflow {
-        report
-            .findings
-            .extend(crate::dataflow::check_workspace(&files, cfg));
+    report.findings.extend(sem_out);
+    report.findings.extend(flow_out);
+    report.findings.extend(mirror_out);
+    if let Some(g) = &graph {
+        cross_tier_unused_waivers(g, semantic, dataflow, mirrors, &mut report.findings);
     }
     report.sort();
     Ok(report)
+}
+
+/// Judge waivers that name only workspace-tier rules: the per-file
+/// engine cannot see whether the semantic/dataflow/mirror analyses
+/// consumed them, but after those tiers have run over the shared graph
+/// the used-flags are authoritative. A waiver naming a rule whose tier
+/// did not run this invocation is left alone — it may well be consumed
+/// by a fuller run.
+fn cross_tier_unused_waivers(
+    g: &Graph<'_>,
+    semantic: bool,
+    dataflow: bool,
+    mirrors: bool,
+    out: &mut Vec<Finding>,
+) {
+    let ran = |tier: &str| match tier {
+        "semantic" => semantic,
+        "dataflow" => dataflow,
+        "mirrors" => mirrors,
+        _ => false,
+    };
+    for pf in &g.files {
+        for d in &pf.items.directives {
+            let DirectiveKind::Allow { rules, .. } = &d.kind else {
+                continue;
+            };
+            let judgeable = !rules.is_empty()
+                && rules.iter().all(|r| {
+                    let t = tier_of(r);
+                    t != "file" && ran(t)
+                });
+            if judgeable && !d.is_used() {
+                out.push(Finding {
+                    file: pf.file.rel.clone(),
+                    line: d.line,
+                    rule: "unused-waiver",
+                    message: format!(
+                        "waiver suppresses nothing: `{}` produced no finding here this run \
+                         — delete it or fix the location",
+                        rules.join(", ")
+                    ),
+                    waived: false,
+                    severity: Severity::Warn,
+                });
+            }
+        }
+    }
 }
 
 /// Lint an explicit list of files (absolute or root-relative paths).

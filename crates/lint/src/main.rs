@@ -3,7 +3,7 @@
 //! ```text
 //! dses-lint --workspace            # lint every crate, exit 1 on findings
 //! dses-lint --workspace --semantic # also run the workspace-wide analyses
-//! dses-lint --workspace --semantic --dataflow # full three-tier run
+//! dses-lint --workspace --semantic --dataflow --mirrors # full four-tier run
 //! dses-lint --workspace --json     # machine-readable output
 //! dses-lint crates/sim/src/fast.rs # lint specific files
 //! dses-lint --list-rules           # print the rule catalogue
@@ -25,6 +25,7 @@ struct Args {
     workspace: bool,
     semantic: bool,
     dataflow: bool,
+    mirrors: bool,
     format: Format,
     verbose: bool,
     list_rules: bool,
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         workspace: false,
         semantic: false,
         dataflow: false,
+        mirrors: false,
         format: Format::Text,
         verbose: false,
         list_rules: false,
@@ -49,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
             "--workspace" => args.workspace = true,
             "--semantic" => args.semantic = true,
             "--dataflow" => args.dataflow = true,
+            "--mirrors" => args.mirrors = true,
             "--json" => args.format = Format::Json,
             "--format" => {
                 let v = iter.next().ok_or("--format needs a value (text|json|github)")?;
@@ -82,6 +85,9 @@ fn parse_args() -> Result<Args, String> {
     if args.dataflow && !args.workspace {
         return Err("--dataflow needs --workspace (budgets compose across the call graph)".into());
     }
+    if args.mirrors && !args.workspace {
+        return Err("--mirrors needs --workspace (mirror groups span crates)".into());
+    }
     Ok(args)
 }
 
@@ -89,7 +95,7 @@ const HELP: &str = "\
 dses-lint — enforce determinism, no-alloc, and panic-hygiene invariants
 
 USAGE:
-    dses-lint --workspace [--semantic] [--dataflow] [--format text|json|github] [--verbose] [--root <dir>]
+    dses-lint --workspace [--semantic] [--dataflow] [--mirrors] [--format text|json|github] [--verbose] [--root <dir>]
     dses-lint [--json] <file>...
     dses-lint --list-rules
 
@@ -101,6 +107,11 @@ FLAGS:
     --dataflow     also recover per-function CFGs and run the hot-loop
                    dataflow analyses (divide-budget, loop-alloc,
                    grow-once, demand-monomorphism)
+    --mirrors      also prove the declared mirror groups: paired kernels
+                   annotated `mirrors(group)` must share a normalized
+                   float-op skeleton (mirror-divergence,
+                   mirror-mixed-precision, mirror-orphan,
+                   mirror-stale-hoist)
     --format <f>   output format: text (default), json, or github
                    (::error/::warning workflow annotations)
     --json         shorthand for --format json
@@ -122,6 +133,8 @@ fn run() -> Result<bool, String> {
                 " (semantic tier: --workspace --semantic)"
             } else if dses_lint::rules::DATAFLOW_RULES.contains(r) {
                 " (dataflow tier: --workspace --dataflow)"
+            } else if dses_lint::rules::MIRROR_RULES.contains(r) {
+                " (mirror tier: --workspace --mirrors)"
             } else {
                 ""
             };
@@ -130,6 +143,8 @@ fn run() -> Result<bool, String> {
         println!("  unused-waiver (warning only)");
         println!("opt functions into allocation checking with `// dses-lint: deny(alloc)`");
         println!("declare a kernel's divide budget with `// dses-lint: divides(N)`");
+        println!("enrol a kernel in a mirror group with `// dses-lint: mirrors(<group>[, ulp])`");
+        println!("  (plus `hoist(…)`, `inline(…)`, `untraced(…)` to normalize its skeleton)");
         return Ok(true);
     }
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
@@ -140,7 +155,7 @@ fn run() -> Result<bool, String> {
     };
     let cfg = dses_lint::driver::load_config(&root)?;
     let report = if args.workspace {
-        dses_lint::driver::lint_workspace(&root, &cfg, args.semantic, args.dataflow)?
+        dses_lint::driver::lint_workspace(&root, &cfg, args.semantic, args.dataflow, args.mirrors)?
     } else {
         let files: Vec<PathBuf> = args
             .files

@@ -139,10 +139,11 @@ impl Report {
             let sep = if i + 1 == self.findings.len() { "" } else { "," };
             let _ = writeln!(
                 out,
-                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \"waived\": {}, \"message\": {}}}{sep}",
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"tier\": {}, \"severity\": {}, \"waived\": {}, \"message\": {}}}{sep}",
                 json_str(&f.file),
                 f.line,
                 json_str(f.rule),
+                json_str(crate::rules::tier_of(f.rule)),
                 json_str(match f.severity {
                     Severity::Deny => "deny",
                     Severity::Warn => "warn",

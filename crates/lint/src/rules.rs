@@ -91,6 +91,10 @@ pub const RULE_IDS: &[&str] = &[
     "loop-alloc",
     "grow-once",
     "demand-monomorphism",
+    "mirror-divergence",
+    "mirror-mixed-precision",
+    "mirror-orphan",
+    "mirror-stale-hoist",
 ];
 
 /// Rules enforced by the semantic (workspace-wide) tier. Their waivers
@@ -112,6 +116,31 @@ pub const DATAFLOW_RULES: &[&str] = &[
     "grow-once",
     "demand-monomorphism",
 ];
+
+/// Rules enforced by the mirror-equivalence tier, `--mirrors`. Their
+/// waivers are resolved workspace-wide, so the per-file engine must not
+/// judge them unused.
+pub const MIRROR_RULES: &[&str] = &[
+    "mirror-divergence",
+    "mirror-mixed-precision",
+    "mirror-orphan",
+    "mirror-stale-hoist",
+];
+
+/// Which tier enforces `rule` — provenance for `--json` output and the
+/// cross-tier unused-waiver accounting.
+#[must_use]
+pub fn tier_of(rule: &str) -> &'static str {
+    if SEMANTIC_RULES.contains(&rule) {
+        "semantic"
+    } else if DATAFLOW_RULES.contains(&rule) {
+        "dataflow"
+    } else if MIRROR_RULES.contains(&rule) {
+        "mirrors"
+    } else {
+        "file"
+    }
+}
 
 /// Check one file against every applicable rule, resolving waivers.
 /// Returned findings include waived ones (marked) and waiver-hygiene
@@ -172,7 +201,7 @@ impl Engine<'_> {
         // --- resolve waivers ---
         for f in &mut raw {
             if let Some(d) = directives.iter().find(|d| d.waives(f.rule, f.line)) {
-                d.used.set(true);
+                d.mark_used();
                 f.waived = true;
             }
         }
@@ -191,13 +220,12 @@ impl Engine<'_> {
                         );
                     }
                 }
-                // Waivers naming a semantic or dataflow rule are
-                // consumed by the workspace passes; this engine cannot
-                // judge them unused.
-                let semantic = rules.iter().any(|r| {
-                    SEMANTIC_RULES.contains(&r.as_str()) || DATAFLOW_RULES.contains(&r.as_str())
-                });
-                if !d.used.get() && !semantic {
+                // Waivers naming a semantic, dataflow, or mirror rule
+                // are consumed by the workspace passes; this engine
+                // cannot judge them unused (the driver's cross-tier
+                // accounting does, once the owning tier has run).
+                let workspace_tier = rules.iter().any(|r| tier_of(r) != "file");
+                if !d.is_used() && !workspace_tier {
                     self.emit(
                         "unused-waiver",
                         d.line,

@@ -63,12 +63,19 @@ pub(crate) fn layering_closure(cfg: &Config) -> BTreeMap<String, BTreeSet<String
 #[must_use]
 pub fn check_workspace(root: &Path, files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
     let g = Graph::build_scoped(files, layering_closure(cfg));
+    check_graph(root, &g, cfg)
+}
+
+/// Run every semantic analysis over a prebuilt item graph — the driver
+/// builds one graph and shares it across the workspace tiers' threads.
+#[must_use]
+pub fn check_graph(root: &Path, g: &Graph<'_>, cfg: &Config) -> Vec<Finding> {
     let mut out = Vec::new();
-    no_alloc_transitive(&g, &mut out);
-    determinism_transitive(&g, cfg, &mut out);
-    layering(root, &g, cfg, &mut out);
-    state_needs(&g, &mut out);
-    waiver_reachability(&g, &mut out);
+    no_alloc_transitive(g, &mut out);
+    determinism_transitive(g, cfg, &mut out);
+    layering(root, g, cfg, &mut out);
+    state_needs(g, &mut out);
+    waiver_reachability(g, &mut out);
     out
 }
 
@@ -78,7 +85,7 @@ pub(crate) fn waived(g: &Graph<'_>, file_idx: usize, rule: &str, line: u32) -> b
     let mut hit = false;
     for d in &g.files[file_idx].items.directives {
         if d.waives(rule, line) {
-            d.used.set(true);
+            d.mark_used();
             hit = true;
         }
     }

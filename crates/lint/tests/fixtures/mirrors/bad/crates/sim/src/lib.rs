@@ -1,0 +1,98 @@
+//! Bad mirror fixture: each mirror rule has at least one seeded
+//! violation, in the shapes the real workspace pairs take.
+//!
+//! - `accept_marched` reassociates the Lindley `+` relative to
+//!   `accept` — bitwise different, caught as operand provenance
+//!   (mirror-divergence).
+//! - `clamp_lo_lanes` swaps `max` for `min` — caught as an op-kind
+//!   mismatch (mirror-divergence).
+//! - `push_with_inv` takes the reciprocal as a parameter but declares
+//!   no `hoist(inv_n)`, so its operand cannot unify with `push`'s
+//!   live `1.0 / n` (mirror-divergence).
+//! - `lossy` / `lossy_twin` round through `f32`
+//!   (mirror-mixed-precision).
+//! - `scaled_twin` declares `hoist(inv_total)` that nothing consumes
+//!   (mirror-stale-hoist).
+//! - `lonely` is a one-member group with no const-bool guards
+//!   (mirror-orphan).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Lindley update — the reference member of `lindley`.
+// dses-lint: mirrors(lindley)
+pub fn accept(free: f64, now: f64, size: f64, speed: f64) -> f64 {
+    let start = free.max(now);
+    let work = size / speed;
+    start + work
+}
+
+/// Reassociated copy: same ops, swapped `+` operands. IEEE addition
+/// commutes in value but the skeleton tracks provenance per slot, so
+/// the contract (same code, same bits, reviewable by diff) still fails.
+// dses-lint: mirrors(lindley)
+pub fn accept_marched(free: f64, now: f64, size: f64, speed: f64) -> f64 {
+    let start = free.max(now);
+    let work = size / speed;
+    work + start
+}
+
+/// Winsorize from below — the reference member of `clamp`.
+// dses-lint: mirrors(clamp)
+pub fn clamp_lo(x: f64, lo: f64) -> f64 {
+    x.max(lo)
+}
+
+/// "Vectorized" copy that swapped the intrinsic.
+// dses-lint: mirrors(clamp)
+pub fn clamp_lo_lanes(x: f64, lo: f64) -> f64 {
+    x.min(lo)
+}
+
+/// Welford mean step with the live reciprocal — reference of `welford`.
+// dses-lint: mirrors(welford)
+pub fn push(mean: f64, x: f64, n: f64) -> f64 {
+    mean + (x - mean) * (1.0 / n)
+}
+
+/// Hoisted-reciprocal twin that forgot to declare `hoist(inv_n)`: the
+/// parameter read stays a plain leaf and cannot unify with the
+/// reference's folded reciprocal.
+// dses-lint: mirrors(welford)
+pub fn push_with_inv(mean: f64, x: f64, inv_n: f64) -> f64 {
+    mean + (x - mean) * inv_n
+}
+
+/// Accumulates through an `f32` constant — the precision break.
+// dses-lint: mirrors(lossy)
+pub fn lossy(a: f64, b: f64) -> f64 {
+    let bump = 1.0f32 as f64;
+    a + b * bump
+}
+
+/// Twin with the identical shape; the group diverges nowhere, but both
+/// members are still hard mixed-precision errors.
+// dses-lint: mirrors(lossy)
+pub fn lossy_twin(a: f64, b: f64) -> f64 {
+    let bump = 1.0f32 as f64;
+    a + b * bump
+}
+
+/// Weighted value — the reference member of `scaled`.
+// dses-lint: mirrors(scaled)
+pub fn scaled(a: f64, w: f64) -> f64 {
+    a * w
+}
+
+/// Declares a hoist for a parameter that no longer exists.
+// dses-lint: mirrors(scaled)
+// dses-lint: hoist(inv_total)
+pub fn scaled_twin(a: f64, w: f64) -> f64 {
+    a * w
+}
+
+/// Annotated but never paired, and not const-guarded either.
+// dses-lint: mirrors(lonely)
+pub fn lonely(a: f64, b: f64) -> f64 {
+    a.max(b)
+}

@@ -1,0 +1,84 @@
+//! Good mirror fixture: the real workspace's pairing shapes, clean.
+//!
+//! - `accept` / `march` pair a live Lindley divide with a hoisted
+//!   service-table call (`hoist(service)`).
+//! - `push` / `push_with_inv` pair a live `1.0 / n` reciprocal with a
+//!   declared hoisted parameter (`hoist(inv_n)`).
+//! - `mean_seq` / `mean_lanes` form an ulp group: same arithmetic
+//!   multiset after divide→multiply canonicalization, different order.
+//! - `record_core` is a const-guarded specialization: every demand
+//!   combination computes a subsequence of the all-demands-on path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Per-host service-rate table.
+pub struct Speeds {
+    /// Relative speed per host.
+    pub speed: Vec<f64>,
+}
+
+impl Speeds {
+    /// Service time of a `size` job on `host`.
+    #[must_use]
+    pub fn service(&self, host: usize, size: f64) -> f64 {
+        size / self.speed[host]
+    }
+}
+
+/// Lindley update with the divide written out — reference of `lindley`.
+// dses-lint: mirrors(lindley)
+pub fn accept(free: f64, now: f64, size: f64, speed: f64) -> f64 {
+    let start = free.max(now);
+    let work = size / speed;
+    start + work
+}
+
+/// Kernel copy that routes the divide through the service table; the
+/// declared hoist substitutes the call with the divide it performs.
+// dses-lint: mirrors(lindley)
+// dses-lint: hoist(service)
+pub fn march(free: f64, now: f64, size: f64, speeds: &Speeds) -> f64 {
+    let start = free.max(now);
+    let work = speeds.service(0, size);
+    start + work
+}
+
+/// Welford mean step with the live reciprocal — reference of `welford`.
+// dses-lint: mirrors(welford)
+pub fn push(mean: f64, x: f64, n: f64) -> f64 {
+    mean + (x - mean) * (1.0 / n)
+}
+
+/// The hoisted-reciprocal twin, with the hoist declared.
+// dses-lint: mirrors(welford)
+// dses-lint: hoist(inv_n)
+pub fn push_with_inv(mean: f64, x: f64, inv_n: f64) -> f64 {
+    mean + (x - mean) * inv_n
+}
+
+/// Sequential block mean — reference of the ulp group `block-mean`.
+// dses-lint: mirrors(block-mean, ulp)
+pub fn mean_seq(sum: f64, x: f64, n: f64) -> f64 {
+    (sum + x) / n
+}
+
+/// Lane-reduced mean: reassociated and divide-free, ulp-close by the
+/// block error argument, never claimed bit-identical.
+// dses-lint: mirrors(block-mean, ulp)
+pub fn mean_lanes(sum: f64, x: f64, n: f64) -> f64 {
+    (x + sum) * (1.0 / n)
+}
+
+/// Demand-monomorphized record core: the EXTREMA tier adds the
+/// compare-and-select, never reorders the shared arithmetic.
+// dses-lint: mirrors(record-tiers)
+pub fn record_core<const EXTREMA: bool>(mean: f64, x: f64, lo: f64) -> f64 {
+    let d = x - mean;
+    let m = mean + d;
+    if EXTREMA {
+        m.max(lo)
+    } else {
+        m
+    }
+}

@@ -345,6 +345,8 @@ const EMPTY_CHAIN: Chain<'static> = Chain {
 /// the caller re-compacts and re-dispatches when a segment runs dry.
 // dses-lint: divides(1)
 // dses-lint: deny(alloc)
+// dses-lint: mirrors(lindley)
+// dses-lint: hoist(service)
 #[inline(always)]
 fn march_chains<'a, const G: usize, S: SpeedModel>(
     chains: &mut [Chain<'a>; SEG_CHAINS],
@@ -519,7 +521,6 @@ fn run_segmented_core<S, F>(
         // instead of one `JobRecord` at a time.
         for (r, &trace) in traces.iter().enumerate() {
             let jobs = &trace.jobs()[block_base..block_base + b];
-            // dses-lint: allow(no-alloc-transitive) -- Trace::arrivals borrows; the allocating name-match is WorkloadBuilder::arrivals
             let arrivals = &trace.arrivals()[block_base..block_base + b];
             let sizes = &trace.sizes()[block_base..block_base + b];
             let inv_sizes = &trace.inv_sizes()[block_base..block_base + b];
@@ -792,7 +793,6 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
             if n == StateNeeds::NOTHING && cuts.len() < hosts =>
         {
             ws.kernel_cutoffs.clear();
-            // dses-lint: allow(no-alloc-transitive) -- grow-once: scratch reaches h−1 cutoffs and stays
             ws.kernel_cutoffs.extend_from_slice(cuts);
             Selected::Sita
         }
@@ -1129,6 +1129,9 @@ fn run_specialized<P: Dispatcher + ?Sized, S: SpeedModel>(
 /// software-pipeline across iterations.
 // dses-lint: divides(1)
 // dses-lint: deny(alloc)
+// dses-lint: mirrors(lindley)
+// dses-lint: hoist(service)
+// dses-lint: untraced(record_with_inv)
 fn run_static_kernel<S: SpeedModel, F: FnMut(f64, &mut Rng64) -> usize>(
     trace: &Trace,
     speeds: &S,
@@ -1171,6 +1174,9 @@ fn run_static_kernel<S: SpeedModel, F: FnMut(f64, &mut Rng64) -> usize>(
 /// the Lindley scalars — no view refresh, no virtual call.
 // dses-lint: divides(1)
 // dses-lint: deny(alloc)
+// dses-lint: mirrors(lindley-work-left)
+// dses-lint: hoist(service)
+// dses-lint: untraced(record_with_inv)
 fn run_work_left_kernel<S: SpeedModel>(
     trace: &Trace,
     speeds: &S,
@@ -1209,6 +1215,9 @@ fn run_work_left_kernel<S: SpeedModel>(
 /// CPU overlaps the lanes' dependent accumulator chains.
 // dses-lint: divides(1)
 // dses-lint: deny(alloc)
+// dses-lint: mirrors(lindley)
+// dses-lint: hoist(service)
+// dses-lint: untraced(record_with_inv)
 fn run_fused_static<S, F>(
     traces: &[&Trace],
     speeds: &S,
@@ -1251,6 +1260,9 @@ fn run_fused_static<S, F>(
 /// scans only that lane's bank.
 // dses-lint: divides(1)
 // dses-lint: deny(alloc)
+// dses-lint: mirrors(lindley-work-left)
+// dses-lint: hoist(service)
+// dses-lint: untraced(record_with_inv)
 fn run_fused_work_left<S: SpeedModel>(
     traces: &[&Trace],
     speeds: &S,
@@ -1457,14 +1469,12 @@ pub fn simulate_dispatch_fused_mode_into<P: Dispatcher>(
     ws.reset_fused(lanes, hosts);
     for r in 0..lanes {
         policies[r].reset();
-        // dses-lint: allow(no-alloc-transitive) -- grow-once: lane state reaches the widest lane count and stays
         ws.lane_rngs.push(Rng64::seed_from(seeds[r]).stream(0xD15));
         ws.lane_collectors[r].reset(hosts, cfgs[r], n);
         if kind == FusedKind::Sita {
             let DispatchKernel::SizeInterval(cuts) = policies[r].dispatch_kernel() else {
                 unreachable!("lane {r} classified as SITA above")
             };
-            // dses-lint: allow(no-alloc-transitive) -- grow-once: lanes × stride cutoff scratch, reused
             ws.lane_cutoffs.extend_from_slice(cuts);
         }
     }

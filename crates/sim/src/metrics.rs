@@ -373,6 +373,7 @@ impl BlockCollector {
 /// reduction at the end fixes the summation order, making the result
 /// deterministic (and ulp-close to, but not bitwise, the sequential
 /// Welford recurrence — see the error argument in DESIGN.md §13).
+// dses-lint: mirrors(welford-block, ulp)
 fn lane_stats(x: &[f64]) -> (f64, f64, f64, f64) {
     debug_assert!(!x.is_empty() && x.len() <= BLOCK);
     let mut sums = [0.0f64; 8];
@@ -591,12 +592,10 @@ impl Collector {
         if self.path == RecordPath::Batched {
             match &mut self.block {
                 Some(b) => b.fill = 0,
-                // dses-lint: allow(no-alloc-transitive) -- grow-once: the block lanes are built when batching is first enabled, then reused
                 other => *other = Some(Box::new(BlockCollector::empty())),
             }
         }
         if self.inv_n.len() < expected_jobs {
-            // dses-lint: allow(no-alloc-transitive) -- grow-once: the reciprocal table only extends when a larger trace arrives
             self.inv_n.extend((self.inv_n.len()..expected_jobs).map(|k| 1.0 / (k + 1) as f64));
         }
     }
@@ -609,6 +608,7 @@ impl Collector {
     /// where the naive form issues fourteen. Divide throughput, not
     /// flops, bounds the specialized kernels (see DESIGN.md §11).
     // dses-lint: divides(1)
+    // dses-lint: mirrors(record-entry)
     #[inline]
     pub fn record(&mut self, rec: JobRecord) {
         self.record_with_inv(rec, 1.0 / rec.size);
@@ -623,6 +623,8 @@ impl Collector {
     /// pattern). This takes the metrics path to one divide per job.
     // dses-lint: divides(0)
     // dses-lint: deny(alloc)
+    // dses-lint: mirrors(record-entry)
+    // dses-lint: hoist(inv_size)
     #[inline]
     pub fn record_with_inv(&mut self, rec: JobRecord, inv_size: f64) {
         match self.path {
@@ -641,6 +643,8 @@ impl Collector {
     /// computes in exactly the pre-tier order, so demanded outputs stay
     /// bitwise identical across tiers.
     // dses-lint: divides(0)
+    // dses-lint: mirrors(record-tiers)
+    // dses-lint: inline(push_with_inv, push_mv_with_inv)
     #[inline(always)]
     fn record_core<const EXTREMA: bool, const HOST: bool, const TAIL: bool>(
         &mut self,
@@ -651,7 +655,6 @@ impl Collector {
         debug_assert!(rec.completion >= rec.start, "negative service");
         debug_assert_eq!(
             inv_size.to_bits(),
-            // dses-lint: allow(divide-budget) -- debug_assert reciprocal pin: compiled out of release builds, never on the measured path
             (1.0 / rec.size).to_bits(),
             "inv_size must be the bitwise reciprocal of rec.size"
         );
@@ -666,7 +669,6 @@ impl Collector {
         // hand-built collectors that outgrow their hint.
         let inv_n = match self.inv_n.get(count) {
             Some(&v) => v,
-            // dses-lint: allow(divide-budget) -- reciprocal-table miss: only hand-built collectors that outgrow their reset hint land here; engine runs always hit the table
             None => 1.0 / (count + 1) as f64,
         };
         let response = rec.completion - rec.arrival;
@@ -707,7 +709,6 @@ impl Collector {
                 let k = m.count() as usize;
                 let inv = match self.inv_n.get(k) {
                     Some(&v) => v,
-                    // dses-lint: allow(divide-budget) -- reciprocal-table miss: only hand-built collectors that outgrow their reset hint land here; engine runs always hit the table
                     None => 1.0 / (k + 1) as f64,
                 };
                 m.push_with_inv(s, inv);

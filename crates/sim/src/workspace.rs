@@ -204,7 +204,6 @@ impl SimWorkspace {
         self.lane_counters.resize(lanes, 0);
         self.lane_cutoffs.clear();
         while self.lane_collectors.len() < lanes {
-            // dses-lint: allow(no-alloc-transitive) -- grow-once: one collector per lane, reused across fused calls
             self.lane_collectors.push(Collector::new(0, MetricsConfig::default()));
         }
     }
